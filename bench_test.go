@@ -1,0 +1,273 @@
+package hybridrel
+
+// Benchmark harness: one benchmark per paper table/figure (T1–T4, F1,
+// F2, X1) plus microbenchmarks of the substrates (MRT decode, BGP
+// attribute codec, route propagation, valley-free BFS). Each experiment
+// benchmark regenerates the corresponding result on the small-scale
+// world; cmd/experiments prints the same rows at paper scale.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/bgpsim"
+	"hybridrel/internal/core"
+	"hybridrel/internal/ctree"
+	"hybridrel/internal/infer"
+	"hybridrel/internal/infer/gao"
+	"hybridrel/internal/infer/rank"
+	"hybridrel/internal/mrt"
+	"hybridrel/internal/topology"
+	"hybridrel/internal/valley"
+)
+
+var (
+	benchOnce  sync.Once
+	benchWorld *World
+	benchA     *Analysis
+)
+
+func benchSetup(b *testing.B) (*World, *Analysis) {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := Synthesize(SmallWorldConfig())
+		if err != nil {
+			panic(err)
+		}
+		a, err := Run(w.Inputs(), DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		benchWorld, benchA = w, a
+	})
+	return benchWorld, benchA
+}
+
+// BenchmarkT1DatasetSummary regenerates the §3 ¶1 dataset summary.
+func BenchmarkT1DatasetSummary(b *testing.B) {
+	_, a := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := a.Coverage()
+		if c.Paths6 == 0 {
+			b.Fatal("empty coverage")
+		}
+	}
+}
+
+// BenchmarkT2HybridCensus regenerates the §3 ¶2 hybrid census.
+func BenchmarkT2HybridCensus(b *testing.B) {
+	_, a := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		census := a.HybridCensus()
+		if census.Hybrid == 0 {
+			b.Fatal("no hybrids")
+		}
+	}
+}
+
+// BenchmarkT3HybridVisibility regenerates the §3 ¶3 visibility scan.
+func BenchmarkT3HybridVisibility(b *testing.B) {
+	_, a := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := a.HybridVisibility()
+		if v.PathsWithHybrid == 0 {
+			b.Fatal("no hybrid paths")
+		}
+	}
+}
+
+// BenchmarkT4ValleyPaths regenerates the §3 ¶4 valley taxonomy,
+// including the reachability-necessity test.
+func BenchmarkT4ValleyPaths(b *testing.B) {
+	_, a := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := a.ValleyReport()
+		if st.Valley == 0 {
+			b.Fatal("no valley paths")
+		}
+	}
+}
+
+// BenchmarkF1CustomerTreeToy regenerates the Figure-1 example.
+func BenchmarkF1CustomerTreeToy(b *testing.B) {
+	g := topology.New()
+	for _, l := range [][2]asrel.ASN{{1, 2}, {1, 3}, {2, 4}, {2, 5}} {
+		g.AddLink(l[0], l[1])
+	}
+	p2c := asrel.NewTable()
+	p2c.Set(1, 2, asrel.P2C)
+	p2c.Set(1, 3, asrel.P2C)
+	p2c.Set(2, 4, asrel.P2C)
+	p2c.Set(2, 5, asrel.P2C)
+	p2p := p2c.Clone()
+	p2p.Set(1, 2, asrel.P2P)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ctree.Tree(g, p2c, 1)) != 4 || len(ctree.Tree(g, p2p, 1)) != 1 {
+			b.Fatal("figure-1 trees wrong")
+		}
+	}
+}
+
+// BenchmarkF2CorrectionSweep regenerates the Figure-2 sweep (top 20
+// corrections, exact tree metric).
+func BenchmarkF2CorrectionSweep(b *testing.B) {
+	_, a := benchSetup(b)
+	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
+	baseline := a.BaselineV6(a.Rel4, rank6.Table)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := a.Figure2(baseline, 20, 0)
+		if len(pts) < 2 {
+			b.Fatal("sweep too short")
+		}
+	}
+}
+
+// BenchmarkX1BaselineAccuracy scores the single-plane baselines against
+// ground truth.
+func BenchmarkX1BaselineAccuracy(b *testing.B) {
+	w, a := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g6 := gao.Infer(a.D6.Paths(), gao.DefaultConfig())
+		r6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
+		sg := infer.ScoreTable(g6.Table, w.Internet.Truth6, a.D6.Links())
+		sr := infer.ScoreTable(r6.Table, w.Internet.Truth6, a.D6.Links())
+		if sg.Classified == 0 || sr.Classified == 0 {
+			b.Fatal("baselines classified nothing")
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd runs the whole pipeline — world bytes in,
+// analysis out — per iteration.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	w, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Run(core.Inputs(w.Inputs()), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Coverage().Paths6 == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// BenchmarkWorldSynthesis generates and collects a small world per
+// iteration (topology, policies, propagation, MRT serialization).
+func BenchmarkWorldSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := Synthesize(SmallWorldConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(w.Archives6) == 0 {
+			b.Fatal("no archives")
+		}
+	}
+}
+
+// BenchmarkMRTDecode streams a full v6 archive through the MRT reader.
+func BenchmarkMRTDecode(b *testing.B) {
+	w, _ := benchSetup(b)
+	archive := w.Archives6[0]
+	b.SetBytes(int64(len(archive)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := mrt.ReadAll(bytes.NewReader(archive))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) == 0 {
+			b.Fatal("empty archive")
+		}
+	}
+}
+
+// BenchmarkAttrsRoundTrip measures the BGP attribute codec hot path.
+func BenchmarkAttrsRoundTrip(b *testing.B) {
+	in := &bgp.Attrs{
+		HasOrigin: true,
+		ASPath:    bgp.Sequence(65001, 65002, 196613, 65004),
+		Communities: []bgp.Community{
+			bgp.MakeCommunity(65001, 100), bgp.MakeCommunity(65002, 2000),
+		},
+		HasLocalPref: true,
+		LocalPref:    300,
+	}
+	opt := bgp.Options{ASN4: true}
+	wire, err := in.Marshal(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out bgp.Attrs
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bgp.DecodeAttrs(wire, opt, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagation measures one full route propagation over the v6
+// plane of the small world.
+func BenchmarkPropagation(b *testing.B) {
+	w, _ := benchSetup(b)
+	sim := bgpsim.New(w.Internet, asrel.IPv6)
+	origin := w.Internet.Graph6.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Propagate(origin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ReachableCount() == 0 {
+			b.Fatal("no routes")
+		}
+	}
+}
+
+// BenchmarkValleyFreeBFS measures the two-state product-graph BFS used
+// by the necessity test and the Figure-2 metric.
+func BenchmarkValleyFreeBFS(b *testing.B) {
+	w, _ := benchSetup(b)
+	g := w.Internet.Graph6
+	t := w.Internet.Truth6
+	src := g.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.ValleyFreeDist(t, src)) == 0 {
+			b.Fatal("no reachability")
+		}
+	}
+}
+
+// BenchmarkValleyCheck measures per-path valley validation.
+func BenchmarkValleyCheck(b *testing.B) {
+	w, a := benchSetup(b)
+	paths := a.D6.Paths()
+	_ = w
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, p := range paths {
+			if valley.Check(p.Path, a.Rel6) == valley.KindValley {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("no valley paths")
+		}
+	}
+}

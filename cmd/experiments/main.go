@@ -1,0 +1,218 @@
+// Command experiments regenerates every table and figure of Giotsas &
+// Zhou (SIGCOMM 2011) on the synthetic measurement world: the dataset
+// summary (T1), the hybrid census (T2), hybrid path visibility (T3),
+// the valley-path taxonomy (T4), the Figure-1 customer-tree example,
+// the Figure-2 correction sweep, and the extra baseline-accuracy study
+// (X1). Paper values are printed alongside the measured ones;
+// EXPERIMENTS.md records the comparison.
+//
+// Usage:
+//
+//	experiments [-scale small|default] [-seed N] [-top N] [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/core"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/infer"
+	"hybridrel/internal/infer/gao"
+	"hybridrel/internal/infer/rank"
+	"hybridrel/internal/report"
+	"hybridrel/internal/testutil"
+	"hybridrel/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale = flag.String("scale", "default", "world scale: small | default")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		topN  = flag.Int("top", 20, "corrections in the Figure-2 sweep")
+		full  = flag.Bool("full-sweep", false, "also sweep every detected hybrid")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultConfig()
+	if *scale == "small" {
+		cfg = gen.SmallConfig()
+	}
+	cfg.Seed = *seed
+
+	start := time.Now()
+	log.Printf("building synthetic world (%s scale, seed %d)...", *scale, *seed)
+	w, err := testutil.BuildWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world ready in %v: %d ASes, %d v6 ASes, collection ingested",
+		time.Since(start).Round(time.Millisecond),
+		len(w.In.Order), w.In.Graph6.NumNodes())
+
+	a := core.Analyze(w.D4, w.D6, w.Dict, core.DefaultOptions())
+	out := os.Stdout
+
+	t1(out, a)
+	t2(out, a)
+	t3(out, a)
+	t4(out, a)
+	figure1(out)
+	figure2(out, a, *topN, *full)
+	x1(out, w, a)
+}
+
+// t1 prints the dataset summary (§3 ¶1).
+func t1(out *os.File, a *core.Analysis) {
+	c := a.Coverage()
+	t := report.NewTable("T1 — dataset summary (§3 ¶1)",
+		"quantity", "paper (Aug 2010)", "measured")
+	t.Row("IPv6 AS paths", "346,649", c.Paths6)
+	t.Row("IPv6 AS links", "10,535", c.Links6)
+	t.Row("IPv4/IPv6 (dual-stack) links", "7,618", c.DualStack)
+	t.Row("IPv6 links with recovered ToR", "72%", report.Pct(c.Share6()))
+	t.Row("dual-stack links with recovered ToR", "81%", report.Pct(c.ShareDual()))
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// t2 prints the hybrid census (§3 ¶2).
+func t2(out *os.File, a *core.Analysis) {
+	census := a.HybridCensus()
+	t := report.NewTable("T2 — hybrid relationship census (§3 ¶2)",
+		"quantity", "paper", "measured")
+	t.Row("dual-stack links classified in both planes", "6,160", census.DualClassified)
+	t.Row("hybrid links", "779 (13%)",
+		fmt.Sprintf("%d (%s)", census.Hybrid, report.Pct(census.HybridShare())))
+	t.Row("H1: v4 p2p / v6 transit", "67%", report.Pct(census.ClassShare(asrel.HybridPeerTransit)))
+	t.Row("H2: v4 transit / v6 p2p", "~33%", report.Pct(census.ClassShare(asrel.HybridTransitPeer)))
+	t.Row("H3: v4 p2c / v6 c2p (reversal)", "1 link", census.ByClass[asrel.HybridReversed])
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// t3 prints hybrid visibility (§3 ¶3).
+func t3(out *os.File, a *core.Analysis) {
+	v := a.HybridVisibility()
+	t := report.NewTable("T3 — hybrid visibility in IPv6 paths (§3 ¶3)",
+		"quantity", "paper", "measured")
+	t.Row("IPv6 paths crossing ≥1 hybrid link", ">28%", report.Pct(v.Share()))
+	t.Row("mean v6 degree of hybrid endpoints", "(tier-1/tier-2)",
+		fmt.Sprintf("%.1f", v.MeanHybridEndpointDegree))
+	t.Row("mean v6 degree of dual-stack endpoints", "-",
+		fmt.Sprintf("%.1f", v.MeanDualEndpointDegree))
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// t4 prints the valley-path taxonomy (§3 ¶4).
+func t4(out *os.File, a *core.Analysis) {
+	st := a.ValleyReport()
+	t := report.NewTable("T4 — valley paths (§3 ¶4)",
+		"quantity", "paper", "measured")
+	t.Row("IPv6 valley paths (of classifiable)", "13%", report.Pct(st.ValleyShare()))
+	t.Row("valley paths necessary for reachability", "16%", report.Pct(st.NecessaryShare()))
+	t.Row("valley / valley-free / unclassified", "-",
+		fmt.Sprintf("%d / %d / %d", st.Valley, st.ValleyFree, st.Unclassified))
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// figure1 reproduces the paper's toy example.
+func figure1(out *os.File) {
+	g := topology.New()
+	for _, l := range [][2]asrel.ASN{{1, 2}, {1, 3}, {2, 4}, {2, 5}} {
+		g.AddLink(l[0], l[1])
+	}
+	mk := func(rel12 asrel.Rel) *asrel.Table {
+		t := asrel.NewTable()
+		t.Set(1, 2, rel12)
+		t.Set(1, 3, asrel.P2C)
+		t.Set(2, 4, asrel.P2C)
+		t.Set(2, 5, asrel.P2C)
+		return t
+	}
+	t := report.NewTable("F1 — customer tree of AS1 as link 1–2 flips (Figure 1)",
+		"link 1–2", "customer tree of AS1", "paper")
+	for _, rel := range []asrel.Rel{asrel.P2C, asrel.P2P} {
+		cone := g.CustomerCone(mk(rel), 1)
+		members := make([]asrel.ASN, 0, len(cone))
+		for _, n := range g.Nodes() {
+			if cone[n] {
+				members = append(members, n)
+			}
+		}
+		want := "all nodes"
+		if rel == asrel.P2P {
+			want = "only AS3"
+		}
+		t.Row(rel.String(), fmt.Sprintf("%v", members), want)
+	}
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// figure2 runs the correction sweep.
+func figure2(out *os.File, a *core.Analysis, topN int, full bool) {
+	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
+	baseline := a.BaselineV6(a.Rel4, rank6.Table)
+	pts := a.Figure2(baseline, topN, 0)
+	t := report.NewTable(
+		fmt.Sprintf("F2 — correcting the %d most visible hybrids (Figure 2; paper: avg 3.8→2.23, diameter 11→7)", topN),
+		"corrected", "avg shortest valley-free path", "diameter", "tree pairs")
+	for i, p := range pts {
+		if i%2 == 0 || i == len(pts)-1 {
+			t.Row(p.Corrected, p.Metric.Avg, p.Metric.Diameter, p.Metric.Pairs)
+		}
+	}
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+	if full {
+		all := a.Figure2(baseline, len(a.Hybrids()), 0)
+		last := all[len(all)-1].Metric
+		fmt.Fprintf(out, "full sweep over %d hybrids: avg %.2f, diameter %d, pairs %d\n\n",
+			len(all)-1, last.Avg, last.Diameter, last.Pairs)
+	}
+}
+
+// x1 scores the single-plane baselines against ground truth — the §4
+// claim that existing algorithms cannot capture hybrid relationships.
+func x1(out *os.File, w *testutil.World, a *core.Analysis) {
+	gao6 := gao.Infer(a.D6.Paths(), gao.DefaultConfig())
+	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
+	hybridKeys := make([]asrel.LinkKey, 0, len(a.Hybrids()))
+	for _, h := range a.Hybrids() {
+		hybridKeys = append(hybridKeys, h.Key)
+	}
+
+	t := report.NewTable("X1 — baseline algorithms vs ground truth (IPv6 plane)",
+		"algorithm", "coverage", "accuracy", "accuracy on hybrid links")
+	for _, row := range []struct {
+		name string
+		tbl  *asrel.Table
+	}{
+		{"gao (2001)", gao6.Table},
+		{"as-rank style", rank6.Table},
+		{"v4-applied (the [4] effect)", a.Rel4},
+		{"communities+locpref (this paper)", a.Rel6},
+	} {
+		s := infer.ScoreTable(row.tbl, w.In.Truth6, w.D6.Links())
+		h := infer.ScoreTable(row.tbl, w.In.Truth6, hybridKeys)
+		t.Row(row.name, report.Pct(s.Coverage()), report.Pct(s.Accuracy()), report.Pct(h.Accuracy()))
+	}
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command gentopo generates a synthetic Internet and writes its
+// measurement artifacts to a directory: one MRT TABLE_DUMP_V2 archive
+// per collector and address family, the RPSL IRR database, and a
+// ground-truth relationship file for scoring.
+//
+// Usage:
+//
+//	gentopo [-scale small|default] [-seed N] [-collectors N] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hybridrel"
+	"hybridrel/internal/asrel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gentopo: ")
+	var (
+		scale      = flag.String("scale", "small", "world scale: small | default")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		collectors = flag.Int("collectors", 2, "number of collectors")
+		out        = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := hybridrel.DefaultWorldConfig()
+	if *scale == "small" {
+		cfg = hybridrel.SmallWorldConfig()
+	}
+	cfg.Seed = *seed
+
+	world, err := hybridrel.SynthesizeCollectors(cfg, *collectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d bytes)", path, len(data))
+	}
+	for i, a := range world.Archives4 {
+		write(fmt.Sprintf("rib.ipv4.collector%02d.mrt", i), a)
+	}
+	for i, a := range world.Archives6 {
+		write(fmt.Sprintf("rib.ipv6.collector%02d.mrt", i), a)
+	}
+	write("irr.db", world.IRR)
+
+	// Ground truth for scoring: one line per link and plane.
+	var truth []byte
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		g := world.Internet.GraphFor(af)
+		tbl := world.Internet.TruthFor(af)
+		for _, k := range g.LinkKeys() {
+			truth = append(truth, fmt.Sprintf("%s %d %d %s\n", af, k.Lo, k.Hi, tbl.GetKey(k))...)
+		}
+	}
+	write("truth.txt", truth)
+	log.Printf("world: %d ASes, %d IPv6 ASes, %d planted hybrids, hub %s, dispute %s/%s",
+		len(world.Internet.Order), world.Internet.Graph6.NumNodes(),
+		len(world.Internet.Hybrids), world.Internet.FreeTransitHub,
+		world.Internet.DisputeA, world.Internet.DisputeB)
+}

@@ -1,0 +1,100 @@
+// Command hybridscan runs the paper's pipeline over MRT archives and an
+// IRR database from disk: it recovers per-plane relationships from
+// Communities and LocPrf, joins the planes, and reports the hybrid
+// links, their census, and the valley-path statistics.
+//
+// Usage:
+//
+//	hybridscan -irr irr.db -v4 'a.mrt,b.mrt' -v6 'c.mrt,d.mrt' [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"hybridrel"
+	"hybridrel/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hybridscan: ")
+	var (
+		irrPath = flag.String("irr", "", "IRR database (RPSL)")
+		v4List  = flag.String("v4", "", "comma-separated IPv4 MRT archives")
+		v6List  = flag.String("v6", "", "comma-separated IPv6 MRT archives")
+		top     = flag.Int("top", 15, "hybrid links to list")
+	)
+	flag.Parse()
+	if *v6List == "" || *v4List == "" {
+		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 c.mrt[,d.mrt]")
+		os.Exit(2)
+	}
+
+	var in hybridrel.Inputs
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	open := func(path string) io.Reader {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closers = append(closers, f)
+		return f
+	}
+	for _, p := range strings.Split(*v4List, ",") {
+		in.MRT4 = append(in.MRT4, open(p))
+	}
+	for _, p := range strings.Split(*v6List, ",") {
+		in.MRT6 = append(in.MRT6, open(p))
+	}
+	if *irrPath != "" {
+		in.IRR = open(*irrPath)
+	}
+
+	analysis, err := hybridrel.Run(in, hybridrel.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cov := analysis.Coverage()
+	t := report.NewTable("dataset", "quantity", "value")
+	t.Row("IPv6 unique AS paths", cov.Paths6)
+	t.Row("IPv6 links", cov.Links6)
+	t.Row("IPv4 links", cov.Links4)
+	t.Row("dual-stack links", cov.DualStack)
+	t.Row("IPv6 ToR coverage", report.Pct(cov.Share6()))
+	t.Row("dual-stack ToR coverage", report.Pct(cov.ShareDual()))
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	census := analysis.HybridCensus()
+	fmt.Printf("hybrid links: %d of %d classified dual-stack links (%s)\n\n",
+		census.Hybrid, census.DualClassified, report.Pct(census.HybridShare()))
+
+	hybrids := analysis.Hybrids()
+	if *top > len(hybrids) {
+		*top = len(hybrids)
+	}
+	ht := report.NewTable(fmt.Sprintf("top %d hybrids by IPv6 path visibility", *top),
+		"link", "v4", "v6", "class", "paths")
+	for _, h := range hybrids[:*top] {
+		ht.Row(h.Key.String(), h.V4.String(), h.V6.String(), h.Class.String(), h.Visibility)
+	}
+	if err := ht.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	st := analysis.ValleyReport()
+	fmt.Printf("valley paths: %s of classifiable IPv6 paths (%d total); %s of them necessary for reachability\n",
+		report.Pct(st.ValleyShare()), st.Valley, report.Pct(st.NecessaryShare()))
+}

@@ -1,0 +1,105 @@
+// Command mrtdump inspects MRT archives the way bgpdump does: one line
+// per RIB entry with prefix, peer, AS path, communities and LOCAL_PREF.
+//
+// Usage:
+//
+//	mrtdump [-summary] FILE...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/mrt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrtdump: ")
+	summary := flag.Bool("summary", false, "print per-file record counts only")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mrtdump [-summary] FILE...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := dump(path, *summary); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func dump(path string, summary bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	r := mrt.NewReader(f)
+	var peers []mrt.Peer
+	counts := map[string]int{}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch m := rec.Message.(type) {
+		case *mrt.PeerIndexTable:
+			counts["peer-index"]++
+			peers = m.Peers
+			if !summary {
+				fmt.Printf("PEER_INDEX_TABLE collector=%s view=%q peers=%d\n",
+					m.CollectorID, m.ViewName, len(m.Peers))
+			}
+		case *mrt.RIB:
+			counts["rib"]++
+			if summary {
+				continue
+			}
+			for _, e := range m.Entries {
+				peer := "?"
+				if int(e.PeerIndex) < len(peers) {
+					peer = peers[e.PeerIndex].ASN.String()
+				}
+				line := fmt.Sprintf("RIB %s peer=%s path=%s", m.Prefix, peer, e.Attrs.EffectivePath())
+				if e.Attrs.HasLocalPref {
+					line += fmt.Sprintf(" locpref=%d", e.Attrs.LocalPref)
+				}
+				if len(e.Attrs.Communities) > 0 {
+					line += " communities="
+					for i, c := range e.Attrs.Communities {
+						if i > 0 {
+							line += ","
+						}
+						line += c.String()
+					}
+				}
+				fmt.Println(line)
+			}
+		case *mrt.BGP4MPMessage:
+			counts["bgp4mp"]++
+			if !summary {
+				u, err := m.Update(bgp.Options{ASN4: m.AS4})
+				if err != nil {
+					fmt.Printf("BGP4MP peer=%s (undecodable: %v)\n", m.PeerAS, err)
+					continue
+				}
+				fmt.Printf("BGP4MP peer=%s path=%s nlri=%v withdrawn=%v\n",
+					m.PeerAS, u.Attrs.EffectivePath(), u.NLRI, u.Withdrawn)
+			}
+		default:
+			counts["other"]++
+		}
+	}
+	fmt.Printf("%s: peer-index=%d rib=%d bgp4mp=%d other=%d\n",
+		path, counts["peer-index"], counts["rib"], counts["bgp4mp"], counts["other"])
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package hybridrel detects and assesses hybrid IPv4/IPv6 AS
+// relationships, reproducing Giotsas & Zhou (SIGCOMM 2011).
+//
+// The library mines BGP Communities and Local Preference from MRT
+// TABLE_DUMP_V2 archives (the RouteViews / RIPE RIS format) against an
+// IRR community dictionary, recovers per-plane Type-of-Relationship
+// tables, joins the planes into the dual-stack link set, and reports:
+//
+//   - hybrid links: dual-stack links whose IPv4 and IPv6 relationships
+//     differ (the paper finds 13% of classified dual-stack links);
+//   - hybrid visibility: the share of IPv6 paths crossing a hybrid link;
+//   - valley paths: IPv6 paths violating the valley-free rule, split
+//     into necessary (no valley-free alternative exists) and not;
+//   - the Figure-2 correction sweep over the union of customer trees.
+//
+// Because the original August 2010 archives are not redistributable,
+// the package also ships a deterministic synthetic Internet generator
+// (Synthesize) that emits byte-faithful MRT archives and an RPSL IRR
+// database with planted ground truth, so every experiment in the paper
+// can be regenerated and scored.
+//
+// Quick start:
+//
+//	world, _ := hybridrel.Synthesize(hybridrel.SmallWorldConfig())
+//	analysis, _ := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+//	for _, h := range analysis.Hybrids() {
+//		fmt.Println(h.Key, h.V4, h.V6, h.Class)
+//	}
+package hybridrel
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/collector"
+	"hybridrel/internal/core"
+	"hybridrel/internal/gen"
+)
+
+// Core vocabulary, re-exported for consumers.
+type (
+	// ASN is an autonomous system number.
+	ASN = asrel.ASN
+	// Rel is a directed Type-of-Relationship code.
+	Rel = asrel.Rel
+	// LinkKey canonically identifies an undirected AS link.
+	LinkKey = asrel.LinkKey
+	// RelTable maps links to relationships.
+	RelTable = asrel.Table
+	// HybridClass categorizes how a dual-stack link's relationships
+	// differ between planes.
+	HybridClass = asrel.HybridClass
+)
+
+// Relationship codes.
+const (
+	Unknown = asrel.Unknown
+	P2C     = asrel.P2C
+	C2P     = asrel.C2P
+	P2P     = asrel.P2P
+	S2S     = asrel.S2S
+)
+
+// Hybrid classes (H1, H2, H3 in the paper's order).
+const (
+	NotHybrid         = asrel.NotHybrid
+	HybridPeerTransit = asrel.HybridPeerTransit
+	HybridTransitPeer = asrel.HybridTransitPeer
+	HybridReversed    = asrel.HybridReversed
+)
+
+// Analysis pipeline, re-exported from internal/core.
+type (
+	// Analysis is the assembled result of the paper's methodology.
+	Analysis = core.Analysis
+	// Options configures the pipeline.
+	Options = core.Options
+	// Inputs are raw MRT archives plus an IRR database.
+	Inputs = core.Inputs
+	// HybridLink is one detected hybrid relationship.
+	HybridLink = core.HybridLink
+	// Coverage is the dataset summary (paper §3 ¶1).
+	Coverage = core.Coverage
+	// HybridCensus is the hybrid population summary (§3 ¶2).
+	HybridCensus = core.HybridCensus
+	// Visibility is the hybrid path-visibility summary (§3 ¶3).
+	Visibility = core.Visibility
+)
+
+// DefaultOptions returns the paper-faithful pipeline configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Run executes the full pipeline from raw inputs.
+func Run(in Inputs, opt Options) (*Analysis, error) { return core.Run(in, opt) }
+
+// WorldConfig configures the synthetic Internet generator.
+type WorldConfig = gen.Config
+
+// DefaultWorldConfig is the experiment-scale world (≈12k IPv4 ASes, ≈3k
+// IPv6 ASes) whose headline ratios land near the paper's.
+func DefaultWorldConfig() WorldConfig { return gen.DefaultConfig() }
+
+// SmallWorldConfig is a fast test-scale world with the same structure.
+func SmallWorldConfig() WorldConfig { return gen.SmallConfig() }
+
+// World is a synthesized measurement world: the generated ground truth
+// plus the serialized MRT archives and IRR database observed from it.
+type World struct {
+	// Internet is the generated ground truth (exposed for scoring).
+	Internet *gen.Internet
+	// Archives4 / Archives6 hold one MRT TABLE_DUMP_V2 archive per
+	// collector and plane.
+	Archives4 [][]byte
+	Archives6 [][]byte
+	// IRR is the RPSL database documenting community schemes.
+	IRR []byte
+}
+
+// SynthesizeTime is the timestamp stamped into synthetic archives: the
+// paper's measurement month.
+var SynthesizeTime = time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// Synthesize generates a world and collects it into MRT and IRR bytes
+// through the same wire formats a real collector would produce.
+func Synthesize(cfg WorldConfig) (*World, error) {
+	return SynthesizeCollectors(cfg, 2)
+}
+
+// SynthesizeCollectors is Synthesize with an explicit collector count.
+func SynthesizeCollectors(cfg WorldConfig, collectors int) (*World, error) {
+	in, err := gen.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Internet: in}
+	cols := collector.Assign(in, collectors)
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		bufs := make([]*bytes.Buffer, len(cols))
+		ws := make([]io.Writer, len(cols))
+		for i := range bufs {
+			bufs[i] = &bytes.Buffer{}
+			ws[i] = bufs[i]
+		}
+		if err := collector.DumpAll(in, af, cols, ws, SynthesizeTime); err != nil {
+			return nil, fmt.Errorf("hybridrel: collect %s: %w", af, err)
+		}
+		for _, b := range bufs {
+			if af == asrel.IPv6 {
+				w.Archives6 = append(w.Archives6, b.Bytes())
+			} else {
+				w.Archives4 = append(w.Archives4, b.Bytes())
+			}
+		}
+	}
+	var irr bytes.Buffer
+	if err := in.WriteIRR(&irr); err != nil {
+		return nil, err
+	}
+	w.IRR = irr.Bytes()
+	return w, nil
+}
+
+// Inputs adapts the world's serialized archives into pipeline inputs.
+func (w *World) Inputs() Inputs {
+	in := Inputs{IRR: bytes.NewReader(w.IRR)}
+	for _, a := range w.Archives4 {
+		in.MRT4 = append(in.MRT4, bytes.NewReader(a))
+	}
+	for _, a := range w.Archives6 {
+		in.MRT6 = append(in.MRT6, bytes.NewReader(a))
+	}
+	return in
+}

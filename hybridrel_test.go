@@ -1,0 +1,87 @@
+package hybridrel
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the quickstart
+// example does: synthesize a world, run the pipeline on its serialized
+// bytes, and sanity-check every reported result against the ground
+// truth the world exposes.
+func TestFacadeEndToEnd(t *testing.T) {
+	world, err := Synthesize(SmallWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(world.Archives4) == 0 || len(world.Archives6) == 0 || len(world.IRR) == 0 {
+		t.Fatal("world missing archives")
+	}
+	analysis, err := Run(world.Inputs(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := analysis.Coverage()
+	if cov.Paths6 == 0 || cov.DualStack == 0 {
+		t.Fatalf("empty coverage: %+v", cov)
+	}
+	hybrids := analysis.Hybrids()
+	if len(hybrids) == 0 {
+		t.Fatal("no hybrids detected through the facade")
+	}
+	truth4 := world.Internet.Truth4
+	truth6 := world.Internet.Truth6
+	wrong := 0
+	for _, h := range hybrids {
+		if truth4.GetKey(h.Key) != h.V4 || truth6.GetKey(h.Key) != h.V6 {
+			wrong++
+		}
+	}
+	if wrong*20 > len(hybrids) {
+		t.Errorf("%d of %d hybrids disagree with ground truth", wrong, len(hybrids))
+	}
+	census := analysis.HybridCensus()
+	if census.HybridShare() <= 0 {
+		t.Error("empty hybrid census")
+	}
+	st := analysis.ValleyReport()
+	if st.Valley == 0 || st.Necessary == 0 {
+		t.Errorf("valley report degenerate: %+v", st)
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	a, err := Synthesize(SmallWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(SmallWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Archives6) != len(b.Archives6) {
+		t.Fatal("archive counts differ")
+	}
+	for i := range a.Archives6 {
+		if string(a.Archives6[i]) != string(b.Archives6[i]) {
+			t.Fatal("v6 archives differ between identical syntheses")
+		}
+	}
+	if string(a.IRR) != string(b.IRR) {
+		t.Fatal("IRR differs between identical syntheses")
+	}
+}
+
+func TestRelationshipConstantsWired(t *testing.T) {
+	// The facade constants must mirror the internal vocabulary.
+	if P2C.Invert() != C2P || P2P.Invert() != P2P {
+		t.Error("relationship constants miswired")
+	}
+	if Unknown.Known() || S2S.Transit() {
+		t.Error("predicate re-exports broken")
+	}
+	for _, c := range []HybridClass{NotHybrid, HybridPeerTransit, HybridTransitPeer, HybridReversed} {
+		if c.String() == "" {
+			t.Error("hybrid class names missing")
+		}
+	}
+}

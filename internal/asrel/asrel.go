@@ -1,0 +1,292 @@
+// Package asrel defines the vocabulary of inter-domain business
+// relationships used throughout the repository: the Type-of-Relationship
+// (ToR) codes, canonical undirected link keys, per-address-family
+// relationship tables, and the taxonomy of hybrid IPv4/IPv6 relationships
+// introduced by Giotsas & Zhou (SIGCOMM 2011).
+//
+// Directionality convention: a relationship value always describes the
+// role of the *first* AS of a directed pair toward the second. P2C for
+// the pair (a, b) reads "a is a provider of b"; C2P reads "a is a
+// customer of b". Canonical storage orients every link with the lower
+// ASN first and re-orients the relationship accordingly.
+package asrel
+
+import "fmt"
+
+// ASN is an Autonomous System number. Four-byte ASNs (RFC 6793) are
+// first-class citizens.
+type ASN uint32
+
+// String renders the ASN in the canonical "AS64500" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Rel is a directed Type-of-Relationship code for an ordered AS pair.
+type Rel int8
+
+// Relationship codes. The zero value is Unknown so that map lookups on
+// missing links naturally report an unclassified relationship.
+const (
+	// Unknown marks a link whose relationship has not been established.
+	Unknown Rel = iota
+	// P2C: the first AS is a provider of the second (provider-to-customer).
+	P2C
+	// C2P: the first AS is a customer of the second (customer-to-provider).
+	C2P
+	// P2P: settlement-free peering between the two ASes.
+	P2P
+	// S2S: sibling ASes under common administration exchanging all routes.
+	S2S
+)
+
+// Invert returns the relationship as seen from the opposite end of the
+// link: provider-to-customer becomes customer-to-provider and vice versa;
+// symmetric relationships are unchanged.
+func (r Rel) Invert() Rel {
+	switch r {
+	case P2C:
+		return C2P
+	case C2P:
+		return P2C
+	default:
+		return r
+	}
+}
+
+// Transit reports whether the relationship is a transit relationship in
+// either direction.
+func (r Rel) Transit() bool { return r == P2C || r == C2P }
+
+// Known reports whether the relationship has been established at all.
+func (r Rel) Known() bool { return r != Unknown }
+
+// String returns the conventional lower-case abbreviation.
+func (r Rel) String() string {
+	switch r {
+	case Unknown:
+		return "unknown"
+	case P2C:
+		return "p2c"
+	case C2P:
+		return "c2p"
+	case P2P:
+		return "p2p"
+	case S2S:
+		return "s2s"
+	default:
+		return fmt.Sprintf("rel(%d)", int8(r))
+	}
+}
+
+// ParseRel converts the conventional abbreviation back to a Rel. It
+// accepts exactly the strings produced by Rel.String.
+func ParseRel(s string) (Rel, error) {
+	switch s {
+	case "unknown":
+		return Unknown, nil
+	case "p2c":
+		return P2C, nil
+	case "c2p":
+		return C2P, nil
+	case "p2p":
+		return P2P, nil
+	case "s2s":
+		return S2S, nil
+	}
+	return Unknown, fmt.Errorf("asrel: unrecognized relationship %q", s)
+}
+
+// AF identifies the address family of a topology plane.
+type AF uint8
+
+// Address families under study.
+const (
+	IPv4 AF = 4
+	IPv6 AF = 6
+)
+
+// String returns "IPv4" or "IPv6".
+func (af AF) String() string {
+	switch af {
+	case IPv4:
+		return "IPv4"
+	case IPv6:
+		return "IPv6"
+	default:
+		return fmt.Sprintf("AF(%d)", uint8(af))
+	}
+}
+
+// LinkKey is the canonical undirected identifier of an AS link: the lower
+// ASN always comes first. Construct with Key.
+type LinkKey struct {
+	Lo, Hi ASN
+}
+
+// Key canonicalizes the unordered AS pair {a, b}.
+func Key(a, b ASN) LinkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return LinkKey{Lo: a, Hi: b}
+}
+
+// Contains reports whether asn is one of the two endpoints.
+func (k LinkKey) Contains(asn ASN) bool { return k.Lo == asn || k.Hi == asn }
+
+// Other returns the opposite endpoint of asn. It panics if asn is not an
+// endpoint of the link; callers must check Contains first when unsure.
+func (k LinkKey) Other(asn ASN) ASN {
+	switch asn {
+	case k.Lo:
+		return k.Hi
+	case k.Hi:
+		return k.Lo
+	}
+	panic(fmt.Sprintf("asrel: %s is not an endpoint of %s", asn, k))
+}
+
+// String renders the link as "AS1-AS2" with the canonical orientation.
+func (k LinkKey) String() string { return fmt.Sprintf("%s-%s", k.Lo, k.Hi) }
+
+// Table maps canonical links to the relationship oriented from Lo to Hi.
+// The zero value is not usable; construct with NewTable.
+type Table struct {
+	rels map[LinkKey]Rel
+}
+
+// NewTable returns an empty relationship table.
+func NewTable() *Table { return &Table{rels: make(map[LinkKey]Rel)} }
+
+// Len returns the number of links with a recorded relationship.
+func (t *Table) Len() int { return len(t.rels) }
+
+// Set records the relationship of the directed pair (a, b). The entry is
+// stored against the canonical orientation, so Set(a, b, P2C) and
+// Set(b, a, C2P) are equivalent.
+func (t *Table) Set(a, b ASN, r Rel) {
+	k := Key(a, b)
+	if a != k.Lo {
+		r = r.Invert()
+	}
+	t.rels[k] = r
+}
+
+// Get returns the relationship of the directed pair (a, b), or Unknown if
+// the link has no recorded relationship.
+func (t *Table) Get(a, b ASN) Rel {
+	k := Key(a, b)
+	r := t.rels[k]
+	if a != k.Lo {
+		r = r.Invert()
+	}
+	return r
+}
+
+// GetKey returns the relationship stored for the canonical link key,
+// oriented from k.Lo to k.Hi.
+func (t *Table) GetKey(k LinkKey) Rel { return t.rels[k] }
+
+// SetKey records the relationship for the canonical link key, oriented
+// from k.Lo to k.Hi.
+func (t *Table) SetKey(k LinkKey, r Rel) { t.rels[k] = r }
+
+// Has reports whether the link {a, b} has a recorded relationship.
+func (t *Table) Has(a, b ASN) bool {
+	_, ok := t.rels[Key(a, b)]
+	return ok
+}
+
+// Delete removes any recorded relationship for the link {a, b}.
+func (t *Table) Delete(a, b ASN) { delete(t.rels, Key(a, b)) }
+
+// Links calls fn for every recorded link with its Lo→Hi relationship.
+// Iteration order is unspecified; callers needing determinism must sort.
+func (t *Table) Links(fn func(k LinkKey, r Rel)) {
+	for k, r := range t.rels {
+		fn(k, r)
+	}
+}
+
+// Keys returns all recorded link keys in unspecified order.
+func (t *Table) Keys() []LinkKey {
+	out := make([]LinkKey, 0, len(t.rels))
+	for k := range t.rels {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{rels: make(map[LinkKey]Rel, len(t.rels))}
+	for k, r := range t.rels {
+		c.rels[k] = r
+	}
+	return c
+}
+
+// HybridClass categorizes how a dual-stack link's IPv4 and IPv6
+// relationships differ, following §3 of the paper.
+type HybridClass uint8
+
+// Hybrid categories. The paper reports 67% H1, the remainder H2, and a
+// single H3 occurrence in the August 2010 data.
+const (
+	// NotHybrid: same relationship in both planes (or not comparable).
+	NotHybrid HybridClass = iota
+	// HybridPeerTransit (H1): p2p in IPv4 but a transit relationship in
+	// IPv6 — typically free or trial IPv6 transit between settled peers.
+	HybridPeerTransit
+	// HybridTransitPeer (H2): transit in IPv4 but p2p in IPv6 — relaxed
+	// IPv6 peering requirements between a provider and its customer.
+	HybridTransitPeer
+	// HybridReversed (H3): transit in both planes with the roles swapped
+	// (p2c in IPv4, c2p in IPv6).
+	HybridReversed
+	// HybridOther: the relationships differ in a way outside the paper's
+	// three categories (e.g. sibling in one plane only).
+	HybridOther
+)
+
+// String names the hybrid class as used in reports.
+func (h HybridClass) String() string {
+	switch h {
+	case NotHybrid:
+		return "not-hybrid"
+	case HybridPeerTransit:
+		return "v4-p2p/v6-transit"
+	case HybridTransitPeer:
+		return "v4-transit/v6-p2p"
+	case HybridReversed:
+		return "v4-p2c/v6-c2p"
+	case HybridOther:
+		return "hybrid-other"
+	default:
+		return fmt.Sprintf("hybrid(%d)", uint8(h))
+	}
+}
+
+// Classify determines the hybrid category of a dual-stack link from its
+// IPv4 and IPv6 relationships, both oriented the same way (Lo→Hi). Links
+// with an Unknown relationship in either plane are NotHybrid: hybridity
+// can only be asserted when both planes are classified.
+func Classify(v4, v6 Rel) HybridClass {
+	if !v4.Known() || !v6.Known() || v4 == v6 {
+		return NotHybrid
+	}
+	switch {
+	case v4 == P2P && v6.Transit():
+		return HybridPeerTransit
+	case v4.Transit() && v6 == P2P:
+		return HybridTransitPeer
+	case v4.Transit() && v6.Transit():
+		// Differing transit relationships are necessarily reversed.
+		return HybridReversed
+	default:
+		return HybridOther
+	}
+}
+
+// Hybrid reports whether the pair of relationships constitutes a hybrid
+// link under any category.
+func Hybrid(v4, v6 Rel) bool { return Classify(v4, v6) != NotHybrid }

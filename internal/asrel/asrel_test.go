@@ -1,0 +1,225 @@
+package asrel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelInvert(t *testing.T) {
+	cases := []struct{ in, want Rel }{
+		{Unknown, Unknown},
+		{P2C, C2P},
+		{C2P, P2C},
+		{P2P, P2P},
+		{S2S, S2S},
+	}
+	for _, c := range cases {
+		if got := c.in.Invert(); got != c.want {
+			t.Errorf("Invert(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRelInvertInvolution(t *testing.T) {
+	f := func(raw uint8) bool {
+		r := Rel(raw % 5)
+		return r.Invert().Invert() == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelPredicates(t *testing.T) {
+	if !P2C.Transit() || !C2P.Transit() {
+		t.Error("transit relationships not reported as transit")
+	}
+	if P2P.Transit() || S2S.Transit() || Unknown.Transit() {
+		t.Error("non-transit relationship reported as transit")
+	}
+	if Unknown.Known() {
+		t.Error("Unknown reported as known")
+	}
+	for _, r := range []Rel{P2C, C2P, P2P, S2S} {
+		if !r.Known() {
+			t.Errorf("%s reported as unknown", r)
+		}
+	}
+}
+
+func TestParseRelRoundTrip(t *testing.T) {
+	for _, r := range []Rel{Unknown, P2C, C2P, P2P, S2S} {
+		got, err := ParseRel(r.String())
+		if err != nil {
+			t.Fatalf("ParseRel(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("ParseRel(%q) = %s, want %s", r.String(), got, r)
+		}
+	}
+	if _, err := ParseRel("provider"); err == nil {
+		t.Error("ParseRel accepted an unrecognized string")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	k := Key(20, 10)
+	if k.Lo != 10 || k.Hi != 20 {
+		t.Fatalf("Key(20,10) = %+v, want Lo=10 Hi=20", k)
+	}
+	if Key(10, 20) != k {
+		t.Error("Key is not symmetric")
+	}
+	if !k.Contains(10) || !k.Contains(20) || k.Contains(30) {
+		t.Error("Contains misreports endpoints")
+	}
+	if k.Other(10) != 20 || k.Other(20) != 10 {
+		t.Error("Other returns wrong endpoint")
+	}
+}
+
+func TestKeyOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on a non-endpoint did not panic")
+		}
+	}()
+	Key(1, 2).Other(3)
+}
+
+func TestTableOrientation(t *testing.T) {
+	tb := NewTable()
+	tb.Set(20, 10, P2C) // AS20 is provider of AS10.
+	if got := tb.Get(20, 10); got != P2C {
+		t.Errorf("Get(20,10) = %s, want p2c", got)
+	}
+	if got := tb.Get(10, 20); got != C2P {
+		t.Errorf("Get(10,20) = %s, want c2p", got)
+	}
+	// The canonical key is (10,20); stored relationship must be the
+	// Lo→Hi orientation, i.e. c2p.
+	if got := tb.GetKey(Key(10, 20)); got != C2P {
+		t.Errorf("GetKey = %s, want c2p", got)
+	}
+}
+
+func TestTableSetGetSymmetry(t *testing.T) {
+	f := func(a, b uint32, raw uint8) bool {
+		if a == b {
+			return true // self-links are not meaningful
+		}
+		r := Rel(raw%4) + 1 // P2C..S2S
+		tb := NewTable()
+		tb.Set(ASN(a), ASN(b), r)
+		return tb.Get(ASN(a), ASN(b)) == r && tb.Get(ASN(b), ASN(a)) == r.Invert()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableOverwriteDeleteClone(t *testing.T) {
+	tb := NewTable()
+	tb.Set(1, 2, P2P)
+	tb.Set(1, 2, P2C)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	if tb.Get(1, 2) != P2C {
+		t.Error("overwrite did not take effect")
+	}
+	c := tb.Clone()
+	tb.Delete(2, 1)
+	if tb.Has(1, 2) {
+		t.Error("Delete left the link behind")
+	}
+	if tb.Get(1, 2) != Unknown {
+		t.Error("deleted link does not report Unknown")
+	}
+	if c.Get(1, 2) != P2C {
+		t.Error("Clone was affected by Delete on the original")
+	}
+}
+
+func TestTableLinksIteration(t *testing.T) {
+	tb := NewTable()
+	tb.Set(1, 2, P2C)
+	tb.Set(3, 4, P2P)
+	seen := map[LinkKey]Rel{}
+	tb.Links(func(k LinkKey, r Rel) { seen[k] = r })
+	if len(seen) != 2 {
+		t.Fatalf("iterated %d links, want 2", len(seen))
+	}
+	if seen[Key(1, 2)] != P2C || seen[Key(3, 4)] != P2P {
+		t.Errorf("unexpected iteration contents: %v", seen)
+	}
+	if got := len(tb.Keys()); got != 2 {
+		t.Errorf("Keys returned %d entries, want 2", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		v4, v6 Rel
+		want   HybridClass
+	}{
+		{P2P, P2P, NotHybrid},
+		{P2C, P2C, NotHybrid},
+		{Unknown, P2C, NotHybrid},
+		{P2C, Unknown, NotHybrid},
+		{Unknown, Unknown, NotHybrid},
+		{P2P, P2C, HybridPeerTransit},
+		{P2P, C2P, HybridPeerTransit},
+		{P2C, P2P, HybridTransitPeer},
+		{C2P, P2P, HybridTransitPeer},
+		{P2C, C2P, HybridReversed},
+		{C2P, P2C, HybridReversed},
+		{S2S, P2P, HybridOther},
+		{P2P, S2S, HybridOther},
+		{S2S, P2C, HybridOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.v4, c.v6); got != c.want {
+			t.Errorf("Classify(%s,%s) = %s, want %s", c.v4, c.v6, got, c.want)
+		}
+	}
+}
+
+func TestClassifySymmetricUnderInversion(t *testing.T) {
+	// Viewing the same link from the other endpoint inverts both
+	// relationships; the hybrid class must be invariant.
+	f := func(r4, r6 uint8) bool {
+		v4, v6 := Rel(r4%5), Rel(r6%5)
+		return Classify(v4, v6) == Classify(v4.Invert(), v6.Invert())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybrid(t *testing.T) {
+	if Hybrid(P2P, P2P) {
+		t.Error("identical relationships reported hybrid")
+	}
+	if !Hybrid(P2P, P2C) {
+		t.Error("peer/transit divergence not reported hybrid")
+	}
+	if Hybrid(Unknown, P2C) {
+		t.Error("unclassified plane reported hybrid")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if ASN(64500).String() != "AS64500" {
+		t.Error("ASN.String format changed")
+	}
+	if Key(2, 1).String() != "AS1-AS2" {
+		t.Error("LinkKey.String format changed")
+	}
+	if Rel(99).String() == "" || HybridClass(99).String() == "" {
+		t.Error("out-of-range String must still render")
+	}
+	if IPv4.String() != "IPv4" || IPv6.String() != "IPv6" || AF(9).String() == "" {
+		t.Error("AF.String format changed")
+	}
+}

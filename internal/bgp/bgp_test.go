@@ -1,0 +1,524 @@
+package bgp
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hybridrel/internal/asrel"
+)
+
+func TestCommunityParts(t *testing.T) {
+	c := MakeCommunity(6939, 2000)
+	if c.ASN() != 6939 || c.Value() != 2000 {
+		t.Fatalf("MakeCommunity round trip broken: %v", c)
+	}
+	if c.String() != "6939:2000" {
+		t.Errorf("String = %q", c.String())
+	}
+	got, err := ParseCommunity("6939:2000")
+	if err != nil || got != c {
+		t.Errorf("ParseCommunity = %v, %v", got, err)
+	}
+	if !NoExport.WellKnown() || c.WellKnown() {
+		t.Error("WellKnown misreports")
+	}
+	for _, wk := range []Community{NoExport, NoAdvertise, NoExportSubconfed} {
+		rt, err := ParseCommunity(wk.String())
+		if err != nil || rt != wk {
+			t.Errorf("well-known round trip %v failed: %v %v", wk, rt, err)
+		}
+	}
+	for _, bad := range []string{"", "1234", "x:1", "1:x", "70000:1", "1:70000"} {
+		if _, err := ParseCommunity(bad); err == nil {
+			t.Errorf("ParseCommunity(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCommunityPropertyRoundTrip(t *testing.T) {
+	f := func(asn, val uint16) bool {
+		c := MakeCommunity(asn, val)
+		got, err := ParseCommunity(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASPathBasics(t *testing.T) {
+	p := Sequence(100, 200, 300)
+	if got := p.String(); got != "100 200 300" {
+		t.Errorf("String = %q", got)
+	}
+	if o, ok := p.Origin(); !ok || o != 300 {
+		t.Errorf("Origin = %v %v", o, ok)
+	}
+	if f, ok := p.First(); !ok || f != 100 {
+		t.Errorf("First = %v %v", f, ok)
+	}
+	if p.Len() != 3 || p.HasSet() {
+		t.Error("Len/HasSet wrong for plain sequence")
+	}
+	if !reflect.DeepEqual(p.Flatten(), []asrel.ASN{100, 200, 300}) {
+		t.Error("Flatten wrong")
+	}
+
+	withSet := ASPath{
+		{Type: SegSequence, ASNs: []asrel.ASN{100, 200}},
+		{Type: SegSet, ASNs: []asrel.ASN{300, 400}},
+	}
+	if withSet.Len() != 3 { // a set counts once
+		t.Errorf("Len with set = %d, want 3", withSet.Len())
+	}
+	if !withSet.HasSet() {
+		t.Error("HasSet false")
+	}
+	if _, ok := withSet.Origin(); ok {
+		t.Error("Origin defined for trailing AS_SET")
+	}
+	if got := withSet.String(); got != "100 200 {300,400}" {
+		t.Errorf("String = %q", got)
+	}
+
+	var empty ASPath
+	if _, ok := empty.Origin(); ok {
+		t.Error("empty path has origin")
+	}
+	if _, ok := empty.First(); ok {
+		t.Error("empty path has first")
+	}
+}
+
+func TestASPathPrependClone(t *testing.T) {
+	p := Sequence(100, 200)
+	q := p.Prepend(99, 2)
+	if q.String() != "99 99 100 200" {
+		t.Errorf("Prepend = %q", q.String())
+	}
+	// The original must be untouched.
+	if p.String() != "100 200" {
+		t.Error("Prepend mutated the receiver")
+	}
+	q[0].ASNs[0] = 1
+	if p[0].ASNs[0] != 100 {
+		t.Error("Clone shares backing arrays")
+	}
+	if got := p.Prepend(1, 0); !reflect.DeepEqual(got, p) {
+		t.Error("Prepend(_, 0) changed the path")
+	}
+	// Prepending to a path that starts with a set makes a new segment.
+	setFirst := ASPath{{Type: SegSet, ASNs: []asrel.ASN{5, 6}}}
+	got := setFirst.Prepend(7, 1)
+	if len(got) != 2 || got[0].Type != SegSequence || got[0].ASNs[0] != 7 {
+		t.Errorf("Prepend onto set = %v", got)
+	}
+}
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fullAttrs(t *testing.T) *Attrs {
+	t.Helper()
+	return &Attrs{
+		Origin:          OriginIGP,
+		HasOrigin:       true,
+		ASPath:          Sequence(65001, 65002, 196613),
+		NextHop:         netip.MustParseAddr("192.0.2.1"),
+		MED:             50,
+		HasMED:          true,
+		LocalPref:       300,
+		HasLocalPref:    true,
+		AtomicAggregate: true,
+		Aggregator:      &Aggregator{ASN: 65002, Addr: netip.MustParseAddr("198.51.100.7")},
+		Communities:     []Community{MakeCommunity(65001, 100), NoExport},
+		MPReach: &MPReach{
+			AFI: AFIIPv6, SAFI: SAFIUnicast,
+			NextHop: []netip.Addr{netip.MustParseAddr("2001:db8::1")},
+			NLRI:    []netip.Prefix{mustPrefix(t, "2001:db8:100::/40")},
+		},
+		MPUnreach: &MPUnreach{
+			AFI: AFIIPv6, SAFI: SAFIUnicast,
+			Withdrawn: []netip.Prefix{mustPrefix(t, "2001:db8:dead::/48")},
+		},
+	}
+}
+
+func TestAttrsRoundTripASN4(t *testing.T) {
+	in := fullAttrs(t)
+	opt := Options{ASN4: true}
+	wire, err := in.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	if err := DecodeAttrs(wire, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasOrigin || out.Origin != OriginIGP {
+		t.Error("origin lost")
+	}
+	if out.ASPath.String() != "65001 65002 196613" {
+		t.Errorf("ASPath = %q", out.ASPath.String())
+	}
+	if out.NextHop != in.NextHop {
+		t.Error("next hop lost")
+	}
+	if !out.HasMED || out.MED != 50 || !out.HasLocalPref || out.LocalPref != 300 {
+		t.Error("MED/LOCAL_PREF lost")
+	}
+	if !out.AtomicAggregate {
+		t.Error("atomic aggregate lost")
+	}
+	if out.Aggregator == nil || out.Aggregator.ASN != 65002 || out.Aggregator.Addr != in.Aggregator.Addr {
+		t.Errorf("aggregator = %+v", out.Aggregator)
+	}
+	if !reflect.DeepEqual(out.Communities, in.Communities) {
+		t.Errorf("communities = %v", out.Communities)
+	}
+	if out.MPReach == nil || out.MPReach.AFI != AFIIPv6 ||
+		len(out.MPReach.NextHop) != 1 || out.MPReach.NextHop[0] != in.MPReach.NextHop[0] ||
+		!reflect.DeepEqual(out.MPReach.NLRI, in.MPReach.NLRI) {
+		t.Errorf("MP_REACH = %+v", out.MPReach)
+	}
+	if out.MPUnreach == nil || !reflect.DeepEqual(out.MPUnreach.Withdrawn, in.MPUnreach.Withdrawn) {
+		t.Errorf("MP_UNREACH = %+v", out.MPUnreach)
+	}
+	if len(out.AS4Path) != 0 {
+		t.Error("unexpected AS4_PATH in 4-byte mode")
+	}
+}
+
+func TestAttrsTwoByteASTransAndAS4Path(t *testing.T) {
+	in := &Attrs{
+		HasOrigin: true, Origin: OriginIGP,
+		ASPath: Sequence(65001, 196613, 65002),
+	}
+	opt := Options{ASN4: false}
+	wire, err := in.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	if err := DecodeAttrs(wire, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ASPath.String() != "65001 23456 65002" {
+		t.Errorf("two-byte AS_PATH = %q, want AS_TRANS substitution", out.ASPath.String())
+	}
+	if out.AS4Path.String() != "65001 196613 65002" {
+		t.Errorf("AS4_PATH = %q", out.AS4Path.String())
+	}
+	if out.EffectivePath().String() != "65001 196613 65002" {
+		t.Errorf("EffectivePath = %q", out.EffectivePath().String())
+	}
+}
+
+func TestEffectivePathMerge(t *testing.T) {
+	// AS_PATH longer than AS4_PATH: the excess head is preserved.
+	a := &Attrs{
+		ASPath:  Sequence(1, 2, 3, 4),
+		AS4Path: Sequence(196613, 4),
+	}
+	if got := a.EffectivePath().String(); got != "1 2 196613 4" {
+		t.Errorf("merged = %q", got)
+	}
+	// AS4_PATH longer than AS_PATH must be ignored.
+	b := &Attrs{
+		ASPath:  Sequence(1, 2),
+		AS4Path: Sequence(9, 9, 9),
+	}
+	if got := b.EffectivePath().String(); got != "1 2" {
+		t.Errorf("overlong AS4_PATH not ignored: %q", got)
+	}
+	// Excess that splits a leading set.
+	c := &Attrs{
+		ASPath: ASPath{
+			{Type: SegSet, ASNs: []asrel.ASN{7, 8}},
+			{Type: SegSequence, ASNs: []asrel.ASN{2, 3}},
+		},
+		AS4Path: Sequence(200000, 300000),
+	}
+	if got := c.EffectivePath().String(); got != "{7,8} 200000 300000" {
+		t.Errorf("set-head merge = %q", got)
+	}
+}
+
+func TestRIBMPReachMode(t *testing.T) {
+	in := &Attrs{
+		MPReach: &MPReach{
+			AFI: AFIIPv6, SAFI: SAFIUnicast,
+			NextHop: []netip.Addr{netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("fe80::1")},
+		},
+	}
+	opt := Options{ASN4: true, RIBMPReach: true}
+	wire, err := in.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	if err := DecodeAttrs(wire, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MPReach == nil || out.MPReach.AFI != AFIIPv6 || len(out.MPReach.NextHop) != 2 {
+		t.Fatalf("RIB MP_REACH = %+v", out.MPReach)
+	}
+	if out.MPReach.NextHop[1] != netip.MustParseAddr("fe80::1") {
+		t.Error("link-local next hop lost")
+	}
+	// IPv4 next hop infers AFIIPv4.
+	in4 := &Attrs{MPReach: &MPReach{NextHop: []netip.Addr{netip.MustParseAddr("192.0.2.9")}}}
+	wire4, err := in4.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeAttrs(wire4, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MPReach.AFI != AFIIPv4 {
+		t.Errorf("AFI = %d, want IPv4", out.MPReach.AFI)
+	}
+}
+
+func TestUnknownAttrPreserved(t *testing.T) {
+	in := &Attrs{
+		HasOrigin: true, Origin: OriginEGP,
+		Unknown: []RawAttr{{Flags: flagOptional | flagTransitive, Type: 99, Data: []byte{1, 2, 3}}},
+	}
+	wire, err := in.Marshal(Options{ASN4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	if err := DecodeAttrs(wire, Options{ASN4: true}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unknown) != 1 || out.Unknown[0].Type != 99 || !reflect.DeepEqual(out.Unknown[0].Data, []byte{1, 2, 3}) {
+		t.Errorf("Unknown = %+v", out.Unknown)
+	}
+}
+
+func TestExtendedLengthAttr(t *testing.T) {
+	// A community list longer than 63 entries exceeds 255 bytes and
+	// forces the extended-length encoding.
+	in := &Attrs{}
+	for i := 0; i < 100; i++ {
+		in.Communities = append(in.Communities, MakeCommunity(65000, uint16(i)))
+	}
+	wire, err := in.Marshal(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	if err := DecodeAttrs(wire, Options{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Communities, in.Communities) {
+		t.Error("extended-length communities round trip failed")
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	in := fullAttrs(t)
+	opt := Options{ASN4: true}
+	wire, err := in.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Attrs
+	for cut := 1; cut < len(wire); cut++ {
+		if err := DecodeAttrs(wire[:cut], opt, &out); err == nil {
+			// Truncation at an attribute boundary parses a prefix of the
+			// attributes; that is acceptable. Interior cuts must error.
+			continue
+		} else if !errors.Is(err, ErrTruncated) && err != nil {
+			// Some cuts produce structured errors (e.g. bad lengths);
+			// the requirement is only that no cut panics or succeeds
+			// with corrupt interior state.
+			continue
+		}
+	}
+}
+
+func TestDecodeBadLengths(t *testing.T) {
+	cases := [][]byte{
+		{flagTransitive, attrOrigin, 2, 0, 0},              // ORIGIN len 2
+		{flagTransitive, attrNextHop, 3, 1, 2, 3},          // NEXT_HOP len 3
+		{flagTransitive, attrLocalPref, 2, 0, 1},           // LOCAL_PREF len 2
+		{flagTransitive, attrMED, 1, 9},                    // MED len 1
+		{flagTransitive, attrAtomicAggregate, 1, 0},        // ATOMIC len 1
+		{flagOptional, attrCommunities, 3, 0, 0, 1},        // COMMUNITIES len not %4
+		{flagTransitive, attrAggregator, 5, 0, 0, 0, 0, 0}, // AGGREGATOR len 5
+	}
+	var out Attrs
+	for i, wire := range cases {
+		if err := DecodeAttrs(wire, Options{}, &out); err == nil {
+			t.Errorf("case %d: bad attribute accepted", i)
+		}
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := &Update{
+		Withdrawn: []netip.Prefix{mustPrefix(t, "203.0.113.0/24")},
+		NLRI:      []netip.Prefix{mustPrefix(t, "198.51.100.0/24"), mustPrefix(t, "192.0.2.0/25")},
+	}
+	u.Attrs = *fullAttrs(t)
+	u.Attrs.MPReach = nil
+	u.Attrs.MPUnreach = nil
+	opt := Options{ASN4: true}
+	wire, err := u.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length, typ, err := ParseHeader(wire)
+	if err != nil || typ != MsgUpdate || length != len(wire) {
+		t.Fatalf("header: len=%d type=%d err=%v", length, typ, err)
+	}
+	var out Update
+	if err := ParseUpdate(wire, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Withdrawn, u.Withdrawn) || !reflect.DeepEqual(out.NLRI, u.NLRI) {
+		t.Errorf("prefixes: wd=%v nlri=%v", out.Withdrawn, out.NLRI)
+	}
+	if out.Attrs.ASPath.String() != u.Attrs.ASPath.String() {
+		t.Error("AS_PATH lost in UPDATE round trip")
+	}
+}
+
+func TestUpdateRejectsIPv6InV4Fields(t *testing.T) {
+	u := &Update{NLRI: []netip.Prefix{mustPrefix(t, "2001:db8::/32")}}
+	if _, err := u.Marshal(Options{}); err == nil {
+		t.Error("IPv6 NLRI accepted in the v4-only field")
+	}
+	u2 := &Update{Withdrawn: []netip.Prefix{mustPrefix(t, "2001:db8::/32")}}
+	if _, err := u2.Marshal(Options{}); err == nil {
+		t.Error("IPv6 withdrawn accepted in the v4-only field")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(make([]byte, 5)); !errors.Is(err, ErrTruncated) {
+		t.Error("short header not ErrTruncated")
+	}
+	bad := make([]byte, headerLen)
+	if _, _, err := ParseHeader(bad); err == nil {
+		t.Error("zero marker accepted")
+	}
+	good := append(append([]byte{}, marker[:]...), 0, 10, MsgUpdate)
+	if _, _, err := ParseHeader(good); err == nil {
+		t.Error("implausible length accepted")
+	}
+}
+
+func TestPrefixWireRoundTrip(t *testing.T) {
+	cases := []string{
+		"0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25", "203.0.113.7/32",
+		"::/0", "2001:db8::/32", "2001:db8:ffff::/48", "2001:db8::1/128",
+	}
+	for _, s := range cases {
+		p := mustPrefix(t, s)
+		wire, err := appendWirePrefix(nil, p)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		got, n, err := readWirePrefix(wire, p.Addr().Is6())
+		if err != nil || n != len(wire) || got != p.Masked() {
+			t.Errorf("%s: got %v n=%d err=%v", s, got, n, err)
+		}
+	}
+	// Host bits must be masked on encode.
+	p := mustPrefix(t, "192.0.2.77/24")
+	wire, err := appendWirePrefix(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := readWirePrefix(wire, false)
+	if err != nil || got != mustPrefix(t, "192.0.2.0/24") {
+		t.Errorf("masking lost: %v %v", got, err)
+	}
+	// Over-long prefix length must be rejected.
+	if _, _, err := readWirePrefix([]byte{33, 1, 2, 3, 4, 5}, false); err == nil {
+		t.Error("prefix /33 accepted for IPv4")
+	}
+	if _, _, err := readWirePrefix(nil, false); !errors.Is(err, ErrTruncated) {
+		t.Error("empty prefix buffer not ErrTruncated")
+	}
+}
+
+func TestPrefixPropertyRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte, bits uint8) bool {
+		p, err := netip.AddrFrom4([4]byte{a, b, c, d}).Prefix(int(bits) % 33)
+		if err != nil {
+			return false
+		}
+		wire, err := appendWirePrefix(nil, p)
+		if err != nil {
+			return false
+		}
+		got, n, err := readWirePrefix(wire, false)
+		return err == nil && n == len(wire) && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrsResetReuse(t *testing.T) {
+	var a Attrs
+	opt := Options{ASN4: true}
+	w1, err := fullAttrs(t).Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeAttrs(w1, opt, &a); err != nil {
+		t.Fatal(err)
+	}
+	// Decode a minimal block into the same struct: all old state must go.
+	min := &Attrs{HasOrigin: true, Origin: OriginIncomplete}
+	w2, err := min.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeAttrs(w2, opt, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.MPReach != nil || a.Aggregator != nil || len(a.Communities) != 0 ||
+		a.HasLocalPref || a.HasMED || a.AtomicAggregate || len(a.ASPath) != 0 {
+		t.Errorf("Reset incomplete: %+v", a)
+	}
+	if !a.HasOrigin || a.Origin != OriginIncomplete {
+		t.Error("fresh decode missing")
+	}
+}
+
+func TestDecodeAttrsNeverPanics(t *testing.T) {
+	f := func(b []byte, asn4, rib bool) bool {
+		var out Attrs
+		_ = DecodeAttrs(b, Options{ASN4: asn4, RIBMPReach: rib}, &out)
+		return true // only checking for panics / infinite loops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOriginSegTypeStrings(t *testing.T) {
+	if OriginIGP.String() != "IGP" || OriginEGP.String() != "EGP" ||
+		OriginIncomplete.String() != "INCOMPLETE" || Origin(9).String() == "" {
+		t.Error("Origin.String broken")
+	}
+	if SegSet.String() != "AS_SET" || SegSequence.String() != "AS_SEQUENCE" || SegType(9).String() == "" {
+		t.Error("SegType.String broken")
+	}
+}

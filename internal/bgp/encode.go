@@ -1,0 +1,192 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hybridrel/internal/asrel"
+)
+
+// ASTrans is the reserved two-byte placeholder for four-byte AS numbers
+// on sessions without four-byte capability (RFC 6793).
+const ASTrans asrel.ASN = 23456
+
+// Marshal serializes the attributes into a packed path-attribute block.
+// With opt.ASN4 false, four-byte ASNs in AS_PATH are substituted with
+// AS_TRANS and a full AS4_PATH attribute is emitted automatically.
+func (a *Attrs) Marshal(opt Options) ([]byte, error) {
+	var out []byte
+	appendHdr := func(flags, typ uint8, body []byte) {
+		if len(body) > 0xFF {
+			flags |= flagExtLen
+			out = append(out, flags, typ, byte(len(body)>>8), byte(len(body)))
+		} else {
+			out = append(out, flags, typ, byte(len(body)))
+		}
+		out = append(out, body...)
+	}
+
+	if a.HasOrigin {
+		appendHdr(flagTransitive, attrOrigin, []byte{byte(a.Origin)})
+	}
+	if len(a.ASPath) > 0 || a.HasOrigin {
+		path := a.ASPath
+		needAS4 := false
+		if !opt.ASN4 {
+			for _, seg := range path {
+				for _, asn := range seg.ASNs {
+					if asn > 0xFFFF {
+						needAS4 = true
+					}
+				}
+			}
+		}
+		body, err := encodeASPath(path, opt.ASN4, false)
+		if err != nil {
+			return nil, err
+		}
+		appendHdr(flagTransitive, attrASPath, body)
+		if needAS4 {
+			body4, err := encodeASPath(path, true, false)
+			if err != nil {
+				return nil, err
+			}
+			appendHdr(flagOptional|flagTransitive, attrAS4Path, body4)
+		}
+	}
+	if a.NextHop.Is4() {
+		raw := a.NextHop.As4()
+		appendHdr(flagTransitive, attrNextHop, raw[:])
+	} else if a.NextHop.IsValid() {
+		return nil, fmt.Errorf("bgp: NEXT_HOP must be IPv4, got %v (use MP_REACH for IPv6)", a.NextHop)
+	}
+	if a.HasMED {
+		appendHdr(flagOptional, attrMED, be32(a.MED))
+	}
+	if a.HasLocalPref {
+		appendHdr(flagTransitive, attrLocalPref, be32(a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		appendHdr(flagTransitive, attrAtomicAggregate, nil)
+	}
+	if a.Aggregator != nil {
+		body, err := encodeAggregator(a.Aggregator, opt.ASN4)
+		if err != nil {
+			return nil, err
+		}
+		appendHdr(flagOptional|flagTransitive, attrAggregator, body)
+		if !opt.ASN4 && a.Aggregator.ASN > 0xFFFF {
+			body4, err := encodeAggregator(a.Aggregator, true)
+			if err != nil {
+				return nil, err
+			}
+			appendHdr(flagOptional|flagTransitive, attrAS4Aggregator, body4)
+		}
+	}
+	if len(a.Communities) > 0 {
+		body := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			body = append(body, be32(uint32(c))...)
+		}
+		appendHdr(flagOptional|flagTransitive, attrCommunities, body)
+	}
+	if a.MPReach != nil {
+		body, err := encodeMPReach(a.MPReach, opt.RIBMPReach)
+		if err != nil {
+			return nil, err
+		}
+		appendHdr(flagOptional, attrMPReach, body)
+	}
+	if a.MPUnreach != nil {
+		body, err := encodeMPUnreach(a.MPUnreach)
+		if err != nil {
+			return nil, err
+		}
+		appendHdr(flagOptional, attrMPUnreach, body)
+	}
+	// Unknown attributes are re-emitted verbatim, in type order for
+	// determinism.
+	unk := append([]RawAttr(nil), a.Unknown...)
+	sort.SliceStable(unk, func(i, j int) bool { return unk[i].Type < unk[j].Type })
+	for _, r := range unk {
+		appendHdr(r.Flags&^flagExtLen, r.Type, r.Data)
+	}
+	return out, nil
+}
+
+func be32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func encodeASPath(p ASPath, asn4, noTrans bool) ([]byte, error) {
+	var out []byte
+	for _, seg := range p {
+		if len(seg.ASNs) == 0 {
+			continue
+		}
+		if len(seg.ASNs) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASNs exceeds 255", len(seg.ASNs))
+		}
+		out = append(out, byte(seg.Type), byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			if asn4 {
+				out = append(out, be32(uint32(asn))...)
+				continue
+			}
+			if asn > 0xFFFF {
+				if noTrans {
+					return nil, fmt.Errorf("bgp: ASN %d does not fit two bytes", asn)
+				}
+				asn = ASTrans
+			}
+			out = append(out, byte(asn>>8), byte(asn))
+		}
+	}
+	return out, nil
+}
+
+func encodeAggregator(agg *Aggregator, asn4 bool) ([]byte, error) {
+	if !agg.Addr.Is4() {
+		return nil, fmt.Errorf("bgp: AGGREGATOR address must be IPv4, got %v", agg.Addr)
+	}
+	var out []byte
+	if asn4 {
+		out = append(out, be32(uint32(agg.ASN))...)
+	} else {
+		asn := agg.ASN
+		if asn > 0xFFFF {
+			asn = ASTrans
+		}
+		out = append(out, byte(asn>>8), byte(asn))
+	}
+	raw := agg.Addr.As4()
+	return append(out, raw[:]...), nil
+}
+
+func encodeMPReach(mp *MPReach, ribMode bool) ([]byte, error) {
+	var nh []byte
+	for _, a := range mp.NextHop {
+		if !a.IsValid() {
+			return nil, fmt.Errorf("bgp: invalid MP_REACH next hop")
+		}
+		nh = append(nh, a.AsSlice()...)
+	}
+	if ribMode {
+		out := make([]byte, 0, 1+len(nh))
+		out = append(out, byte(len(nh)))
+		return append(out, nh...), nil
+	}
+	out := make([]byte, 0, 5+len(nh))
+	out = append(out, byte(mp.AFI>>8), byte(mp.AFI), mp.SAFI, byte(len(nh)))
+	out = append(out, nh...)
+	out = append(out, 0) // reserved
+	return appendNLRI(out, mp.NLRI)
+}
+
+func encodeMPUnreach(mp *MPUnreach) ([]byte, error) {
+	out := []byte{byte(mp.AFI >> 8), byte(mp.AFI), mp.SAFI}
+	return appendNLRI(out, mp.Withdrawn)
+}

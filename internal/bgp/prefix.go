@@ -1,0 +1,101 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// ErrTruncated is returned (wrapped) wherever the wire data ends before a
+// complete element could be read.
+var ErrTruncated = errors.New("bgp: truncated data")
+
+// appendWirePrefix appends the RFC 4271 prefix encoding — one length
+// byte followed by ceil(bits/8) address bytes — to dst.
+func appendWirePrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.IsValid() {
+		return dst, fmt.Errorf("bgp: invalid prefix %v", p)
+	}
+	p = p.Masked()
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	addr := p.Addr().AsSlice()
+	n := (bits + 7) / 8
+	if n > len(addr) {
+		return dst, fmt.Errorf("bgp: prefix %v: length %d exceeds address size", p, bits)
+	}
+	return append(dst, addr[:n]...), nil
+}
+
+// readWirePrefix reads one encoded prefix of the given family from b,
+// returning the prefix and the number of bytes consumed.
+func readWirePrefix(b []byte, v6 bool) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: prefix length byte", ErrTruncated)
+	}
+	bits := int(b[0])
+	max := 32
+	if v6 {
+		max = 128
+	}
+	if bits > max {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: prefix length %d exceeds %d", bits, max)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: prefix body (%d bytes)", ErrTruncated, n)
+	}
+	var addr netip.Addr
+	if v6 {
+		var raw [16]byte
+		copy(raw[:], b[1:1+n])
+		addr = netip.AddrFrom16(raw)
+	} else {
+		var raw [4]byte
+		copy(raw[:], b[1:1+n])
+		addr = netip.AddrFrom4(raw)
+	}
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: prefix decode: %v", err)
+	}
+	return p, 1 + n, nil
+}
+
+// AppendPrefix appends one NLRI-encoded prefix to dst. It is exported
+// for the MRT layer, which shares the encoding for RIB record prefixes.
+func AppendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	return appendWirePrefix(dst, p)
+}
+
+// ReadPrefix reads one NLRI-encoded prefix of the given family from b,
+// returning the prefix and the number of bytes consumed.
+func ReadPrefix(b []byte, v6 bool) (netip.Prefix, int, error) {
+	return readWirePrefix(b, v6)
+}
+
+// appendNLRI appends a list of same-family prefixes in wire form.
+func appendNLRI(dst []byte, prefixes []netip.Prefix) ([]byte, error) {
+	var err error
+	for _, p := range prefixes {
+		dst, err = appendWirePrefix(dst, p)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// parseNLRI parses a packed prefix list until b is exhausted.
+func parseNLRI(b []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		p, n, err := readWirePrefix(b, v6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		b = b[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+// Package bgp implements the BGP-4 wire formats the analysis pipeline
+// depends on: UPDATE messages and the path attributes relevant to
+// relationship inference — ORIGIN, AS_PATH (two- and four-byte, RFC
+// 6793), NEXT_HOP, MULTI_EXIT_DISC, LOCAL_PREF, ATOMIC_AGGREGATE,
+// AGGREGATOR, COMMUNITIES (RFC 1997) and MP_REACH/MP_UNREACH_NLRI
+// (RFC 4760) carrying IPv6 reachability.
+//
+// The decoder follows the low-allocation style of gopacket's
+// DecodingLayerParser: DecodeAttrs fills a caller-owned *Attrs, reusing
+// its slices where capacity allows, and never retains the input buffer.
+package bgp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hybridrel/internal/asrel"
+)
+
+// Message type codes from RFC 4271 §4.1.
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// headerLen is the fixed BGP message header size (16-byte marker,
+// 2-byte length, 1-byte type).
+const headerLen = 19
+
+// MaxMessageLen is the maximum BGP message size (RFC 4271).
+const MaxMessageLen = 4096
+
+// Path attribute type codes used by this package.
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNextHop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrAtomicAggregate = 6
+	attrAggregator      = 7
+	attrCommunities     = 8
+	attrMPReach         = 14
+	attrMPUnreach       = 15
+	attrAS4Path         = 17
+	attrAS4Aggregator   = 18
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagPartial    = 0x20
+	flagExtLen     = 0x10
+)
+
+// AFI/SAFI codes (RFC 4760).
+const (
+	AFIIPv4 = 1
+	AFIIPv6 = 2
+
+	SAFIUnicast = 1
+)
+
+// Origin is the ORIGIN attribute value.
+type Origin uint8
+
+// ORIGIN values from RFC 4271.
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+// String names the origin code as bgpdump does.
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "INCOMPLETE"
+	default:
+		return fmt.Sprintf("ORIGIN(%d)", uint8(o))
+	}
+}
+
+// Community is an RFC 1997 community value: the high 16 bits identify the
+// tagging AS, the low 16 bits the operator-defined value.
+type Community uint32
+
+// MakeCommunity builds a community from its AS and value halves.
+func MakeCommunity(asn, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// ASN returns the high 16 bits — the AS that defined the community.
+func (c Community) ASN() uint16 { return uint16(c >> 16) }
+
+// Value returns the low 16 bits.
+func (c Community) Value() uint16 { return uint16(c) }
+
+// Well-known communities (RFC 1997 §2).
+const (
+	NoExport          Community = 0xFFFFFF01
+	NoAdvertise       Community = 0xFFFFFF02
+	NoExportSubconfed Community = 0xFFFFFF03
+)
+
+// WellKnown reports whether the community is in the reserved range.
+func (c Community) WellKnown() bool { return c.ASN() == 0xFFFF }
+
+// String renders "ASN:value", or the RFC name for well-known values.
+func (c Community) String() string {
+	switch c {
+	case NoExport:
+		return "no-export"
+	case NoAdvertise:
+		return "no-advertise"
+	case NoExportSubconfed:
+		return "no-export-subconfed"
+	}
+	return strconv.Itoa(int(c.ASN())) + ":" + strconv.Itoa(int(c.Value()))
+}
+
+// ParseCommunity parses "ASN:value" (and the well-known names emitted by
+// String) back into a Community.
+func ParseCommunity(s string) (Community, error) {
+	switch s {
+	case "no-export":
+		return NoExport, nil
+	case "no-advertise":
+		return NoAdvertise, nil
+	case "no-export-subconfed":
+		return NoExportSubconfed, nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, fmt.Errorf("bgp: community %q: missing ':'", s)
+	}
+	asn, err := strconv.ParseUint(s[:i], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("bgp: community %q: bad ASN: %v", s, err)
+	}
+	val, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("bgp: community %q: bad value: %v", s, err)
+	}
+	return MakeCommunity(uint16(asn), uint16(val)), nil
+}
+
+// SegType is an AS_PATH segment type.
+type SegType uint8
+
+// AS_PATH segment types (RFC 4271 §4.3; confed types are recognized but
+// not produced).
+const (
+	SegSet      SegType = 1
+	SegSequence SegType = 2
+)
+
+// String names the segment type.
+func (s SegType) String() string {
+	switch s {
+	case SegSet:
+		return "AS_SET"
+	case SegSequence:
+		return "AS_SEQUENCE"
+	default:
+		return fmt.Sprintf("SEG(%d)", uint8(s))
+	}
+}
+
+// PathSegment is one AS_PATH segment.
+type PathSegment struct {
+	Type SegType
+	ASNs []asrel.ASN
+}
+
+// ASPath is a sequence of AS_PATH segments, first segment nearest to the
+// receiving speaker.
+type ASPath []PathSegment
+
+// Sequence builds a single-segment AS_SEQUENCE path — the common case for
+// synthetic routes.
+func Sequence(asns ...asrel.ASN) ASPath {
+	cp := append([]asrel.ASN(nil), asns...)
+	return ASPath{{Type: SegSequence, ASNs: cp}}
+}
+
+// Flatten returns the concatenation of all segment members in order.
+// AS_SET members are included in their encoded order; callers that need
+// set semantics should use Segments directly.
+func (p ASPath) Flatten() []asrel.ASN {
+	n := 0
+	for _, s := range p {
+		n += len(s.ASNs)
+	}
+	out := make([]asrel.ASN, 0, n)
+	for _, s := range p {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// Origin returns the last AS of the path (the route originator) and true,
+// or 0 and false for an empty path or when the final segment is an
+// AS_SET (aggregated origin is ambiguous).
+func (p ASPath) Origin() (asrel.ASN, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	last := p[len(p)-1]
+	if last.Type != SegSequence || len(last.ASNs) == 0 {
+		return 0, false
+	}
+	return last.ASNs[len(last.ASNs)-1], true
+}
+
+// First returns the nearest AS of the path (the collector-side neighbor)
+// and true, or 0 and false for an empty path or leading AS_SET.
+func (p ASPath) First() (asrel.ASN, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	first := p[0]
+	if first.Type != SegSequence || len(first.ASNs) == 0 {
+		return 0, false
+	}
+	return first.ASNs[0], true
+}
+
+// Len returns the AS_PATH length as used in BGP best-path selection:
+// each AS in a sequence counts 1, each AS_SET counts 1 in total.
+func (p ASPath) Len() int {
+	n := 0
+	for _, s := range p {
+		if s.Type == SegSet {
+			n++
+			continue
+		}
+		n += len(s.ASNs)
+	}
+	return n
+}
+
+// HasSet reports whether any segment is an AS_SET.
+func (p ASPath) HasSet() bool {
+	for _, s := range p {
+		if s.Type == SegSet {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the path.
+func (p ASPath) Clone() ASPath {
+	out := make(ASPath, len(p))
+	for i, s := range p {
+		out[i] = PathSegment{Type: s.Type, ASNs: append([]asrel.ASN(nil), s.ASNs...)}
+	}
+	return out
+}
+
+// Prepend returns a new path with asn prepended count times to the
+// leading AS_SEQUENCE (creating one if necessary).
+func (p ASPath) Prepend(asn asrel.ASN, count int) ASPath {
+	if count <= 0 {
+		return p.Clone()
+	}
+	pre := make([]asrel.ASN, count)
+	for i := range pre {
+		pre[i] = asn
+	}
+	out := p.Clone()
+	if len(out) > 0 && out[0].Type == SegSequence {
+		out[0].ASNs = append(pre, out[0].ASNs...)
+		return out
+	}
+	return append(ASPath{{Type: SegSequence, ASNs: pre}}, out...)
+}
+
+// String renders the path in the conventional space-separated form, with
+// AS_SETs in braces.
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, s := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == SegSet {
+			b.WriteByte('{')
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				if s.Type == SegSet {
+					b.WriteByte(',')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteString(strconv.FormatUint(uint64(a), 10))
+		}
+		if s.Type == SegSet {
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package collector
+
+import (
+	"testing"
+
+	"hybridrel/internal/asrel"
+)
+
+func TestPeerAddrStable(t *testing.T) {
+	a1 := peerAddr(asrel.IPv4, 1)
+	a2 := peerAddr(asrel.IPv4, 1)
+	if a1 != a2 {
+		t.Error("peer address not stable")
+	}
+	if !a1.Is4() {
+		t.Errorf("v4 peer address %v is not IPv4", a1)
+	}
+	v6 := peerAddr(asrel.IPv6, 300)
+	if !v6.Is6() {
+		t.Errorf("v6 peer address %v is not IPv6", v6)
+	}
+	// Distinct peers get distinct addresses in both planes.
+	if peerAddr(asrel.IPv4, 1) == peerAddr(asrel.IPv4, 2) {
+		t.Error("v4 peer addresses collide")
+	}
+	if peerAddr(asrel.IPv6, 1) == peerAddr(asrel.IPv6, 2) {
+		t.Error("v6 peer addresses collide")
+	}
+	// ULA space: never collides with originated 2001:db8::/32 prefixes.
+	raw := v6.As16()
+	if raw[0] != 0xfd {
+		t.Errorf("v6 peer address %v not in fd00::/8", v6)
+	}
+}

@@ -1,0 +1,156 @@
+// Package collector simulates the RouteViews / RIPE RIS collection
+// infrastructure: vantage ASes peer with named collectors, and each
+// collector serializes the routes its peers announce into a standard
+// MRT TABLE_DUMP_V2 archive. The analysis pipeline consumes only those
+// MRT bytes, exactly as it would consume a real archive.
+package collector
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/bgpsim"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/mrt"
+)
+
+// Collector is one named collection point and the vantage ASes that
+// peer with it.
+type Collector struct {
+	Name  string
+	ID    netip.Addr
+	Peers []asrel.ASN
+}
+
+// Assign splits the Internet's vantages across n collectors round-robin
+// (vantages are sorted, so the split is deterministic). Real vantages
+// often peer with several collectors; here each peers with exactly one,
+// which loses no information because the dataset layer deduplicates
+// paths anyway.
+func Assign(in *gen.Internet, n int) []Collector {
+	if n < 1 {
+		n = 1
+	}
+	cols := make([]Collector, n)
+	for i := range cols {
+		cols[i].Name = fmt.Sprintf("collector%02d", i)
+		cols[i].ID = mrt.CollectorAddr(i + 1)
+	}
+	for i, v := range in.Vantages {
+		c := &cols[i%n]
+		c.Peers = append(c.Peers, v)
+	}
+	return cols
+}
+
+// peerAddr synthesizes a stable peering address for the i-th peer of a
+// collector: 172.16/12 for IPv4 feeds, fd00::/8 (ULA) for IPv6, so peer
+// addresses never collide with originated prefixes.
+func peerAddr(af asrel.AF, i int) netip.Addr {
+	if af == asrel.IPv6 {
+		var raw [16]byte
+		raw[0] = 0xfd
+		raw[14], raw[15] = byte(i>>8), byte(i)
+		return netip.AddrFrom16(raw)
+	}
+	return netip.AddrFrom4([4]byte{172, 16, byte(i >> 8), byte(i)})
+}
+
+// DumpAll propagates every origin of the given plane once and writes one
+// TABLE_DUMP_V2 archive per collector: ws[i] receives cols[i]'s archive.
+// Propagation results are shared across collectors, so the whole plane
+// costs one simulation pass.
+func DumpAll(in *gen.Internet, af asrel.AF, cols []Collector, ws []io.Writer, ts time.Time) error {
+	if len(cols) != len(ws) {
+		return fmt.Errorf("collector: %d collectors but %d writers", len(cols), len(ws))
+	}
+	writers := make([]*mrt.Writer, len(cols))
+	peerIdx := make([]map[asrel.ASN]uint16, len(cols))
+	for i, c := range cols {
+		writers[i] = mrt.NewWriter(ws[i])
+		pit := &mrt.PeerIndexTable{CollectorID: c.ID, ViewName: c.Name}
+		peerIdx[i] = make(map[asrel.ASN]uint16, len(c.Peers))
+		for j, p := range c.Peers {
+			peerIdx[i][p] = uint16(j)
+			pit.Peers = append(pit.Peers, mrt.Peer{
+				BGPID: netip.AddrFrom4([4]byte{10, 255, byte(j >> 8), byte(j)}),
+				Addr:  peerAddr(af, j+1),
+				ASN:   p,
+			})
+		}
+		if err := writers[i].WritePeerIndexTable(ts, pit); err != nil {
+			return fmt.Errorf("collector %s: %w", c.Name, err)
+		}
+	}
+
+	sim := bgpsim.New(in, af)
+	seq := make([]uint32, len(cols))
+	for _, origin := range in.Order {
+		a := in.ASes[origin]
+		prefixes := a.PrefixesFor(af)
+		if len(prefixes) == 0 {
+			continue
+		}
+		res, err := sim.Propagate(origin)
+		if err != nil {
+			return err
+		}
+		views := sim.Views(res)
+		if len(views) == 0 {
+			continue
+		}
+		for ci := range cols {
+			entries := ribEntries(views, peerIdx[ci], af, ts)
+			if len(entries) == 0 {
+				continue
+			}
+			for _, pfx := range prefixes {
+				rib := &mrt.RIB{Seq: seq[ci], Prefix: pfx, Entries: entries}
+				seq[ci]++
+				if err := writers[ci].WriteRIB(ts, rib); err != nil {
+					return fmt.Errorf("collector %s: prefix %v: %w", cols[ci].Name, pfx, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ribEntries converts the vantage views belonging to one collector into
+// RIB entries.
+func ribEntries(views []bgpsim.VantageView, peers map[asrel.ASN]uint16, af asrel.AF, ts time.Time) []mrt.RIBEntry {
+	var entries []mrt.RIBEntry
+	for _, v := range views {
+		idx, ok := peers[v.Vantage]
+		if !ok {
+			continue
+		}
+		var e mrt.RIBEntry
+		e.PeerIndex = idx
+		e.OriginatedAt = ts
+		e.Attrs.HasOrigin = true
+		e.Attrs.Origin = bgp.OriginIGP
+		e.Attrs.ASPath = bgp.Sequence(v.Path...)
+		if af == asrel.IPv6 {
+			e.Attrs.MPReach = &bgp.MPReach{
+				AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+				NextHop: []netip.Addr{peerAddr(af, int(idx)+1)},
+			}
+		} else {
+			e.Attrs.NextHop = peerAddr(af, int(idx)+1)
+		}
+		if len(v.Communities) > 0 {
+			e.Attrs.Communities = append([]bgp.Community(nil), v.Communities...)
+		}
+		if v.HasLocPrf {
+			e.Attrs.HasLocalPref = true
+			e.Attrs.LocalPref = v.LocPrf
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}

@@ -1,0 +1,220 @@
+// Package community interprets BGP community values: the taxonomy of
+// documented meanings (relationship tagging vs traffic engineering), the
+// remark-line classifier that mines IRR aut-num objects, and the
+// dictionary the inference pipeline queries.
+//
+// The paper's key observation is that Communities function as a
+// "Rosetta stone": operators document, per community value, what their
+// routers tag on ingress — and those tags name the business relationship
+// with the neighbor the route was learned from.
+package community
+
+import (
+	"strconv"
+	"strings"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/rpsl"
+)
+
+// Meaning classifies a documented community value.
+type Meaning uint8
+
+// Meanings. Relationship meanings describe the neighbor a tagged route
+// was learned from; MeaningTE marks traffic-engineering actions whose
+// presence invalidates LocPrf-based inference for that route.
+const (
+	MeaningUnknown Meaning = iota
+	MeaningCustomer
+	MeaningPeer
+	MeaningProvider
+	MeaningTE
+)
+
+// String names the meaning as used in reports.
+func (m Meaning) String() string {
+	switch m {
+	case MeaningCustomer:
+		return "from-customer"
+	case MeaningPeer:
+		return "from-peer"
+	case MeaningProvider:
+		return "from-provider"
+	case MeaningTE:
+		return "traffic-engineering"
+	default:
+		return "unknown"
+	}
+}
+
+// Rel converts a relationship meaning into the tagger's relationship
+// toward the tagged neighbor: a "from customer" tag on a route means the
+// tagger is the neighbor's provider (tagger→neighbor is p2c).
+func (m Meaning) Rel() (asrel.Rel, bool) {
+	switch m {
+	case MeaningCustomer:
+		return asrel.P2C, true
+	case MeaningPeer:
+		return asrel.P2P, true
+	case MeaningProvider:
+		return asrel.C2P, true
+	default:
+		return asrel.Unknown, false
+	}
+}
+
+// Dictionary maps community values to their documented meanings.
+type Dictionary struct {
+	m map[bgp.Community]Meaning
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{m: make(map[bgp.Community]Meaning)}
+}
+
+// Set records the meaning of a community value. Conflicting re-documentation
+// (same value, different meaning) degrades the entry to MeaningUnknown,
+// which Lookup reports as absent: conservative in the face of dirty IRR data.
+func (d *Dictionary) Set(c bgp.Community, m Meaning) {
+	if prev, ok := d.m[c]; ok && prev != m {
+		d.m[c] = MeaningUnknown
+		return
+	}
+	d.m[c] = m
+}
+
+// Lookup returns the meaning of c and whether it is usable.
+func (d *Dictionary) Lookup(c bgp.Community) (Meaning, bool) {
+	m, ok := d.m[c]
+	if !ok || m == MeaningUnknown {
+		return MeaningUnknown, false
+	}
+	return m, true
+}
+
+// Len returns the number of entries, including degraded ones.
+func (d *Dictionary) Len() int { return len(d.m) }
+
+// CountByMeaning tallies usable entries per meaning.
+func (d *Dictionary) CountByMeaning() map[Meaning]int {
+	out := make(map[Meaning]int)
+	for _, m := range d.m {
+		if m != MeaningUnknown {
+			out[m]++
+		}
+	}
+	return out
+}
+
+// teKeywords mark traffic-engineering / action communities. They are
+// checked before relationship keywords: "set local-pref below peer
+// routes" is TE even though it mentions peers.
+var teKeywords = []string{
+	"prepend", "backup", "blackhole", "black-hole",
+	"localpref", "local-pref", "local pref", "med ",
+	"do not announce", "don't announce", "no-export",
+	"traffic engineering", "traffic-engineering",
+}
+
+var customerKeywords = []string{"customer", "downstream"}
+var peerKeywords = []string{"peer", "exchange point", "ixp", "bilateral"}
+var providerKeywords = []string{"provider", "upstream", "transit"}
+
+// ParseRemark extracts a community documentation entry from one IRR
+// remark line: the first "ASN:value" token and the classified meaning of
+// the surrounding text. It returns ok=false for lines that do not
+// document a community or whose meaning is ambiguous.
+func ParseRemark(line string) (bgp.Community, Meaning, bool) {
+	c, rest, ok := findCommunityToken(line)
+	if !ok {
+		return 0, MeaningUnknown, false
+	}
+	text := strings.ToLower(rest)
+	for _, kw := range teKeywords {
+		if strings.Contains(text, kw) {
+			return c, MeaningTE, true
+		}
+	}
+	var meaning Meaning
+	groups := 0
+	if containsAny(text, customerKeywords) {
+		meaning = MeaningCustomer
+		groups++
+	}
+	if containsAny(text, peerKeywords) {
+		meaning = MeaningPeer
+		groups++
+	}
+	if containsAny(text, providerKeywords) {
+		meaning = MeaningProvider
+		groups++
+	}
+	if groups != 1 {
+		// No relationship keyword, or several (scope communities like
+		// "announce to customers and peers"): unusable.
+		return c, MeaningUnknown, false
+	}
+	return c, meaning, true
+}
+
+func containsAny(s string, kws []string) bool {
+	for _, kw := range kws {
+		if strings.Contains(s, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// findCommunityToken locates the first "N:M" token with both halves in
+// uint16 range and returns the community plus the rest of the line.
+func findCommunityToken(line string) (bgp.Community, string, bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] != ':' {
+			continue
+		}
+		// Scan digits left and right of the colon.
+		ls := i
+		for ls > 0 && line[ls-1] >= '0' && line[ls-1] <= '9' {
+			ls--
+		}
+		re := i + 1
+		for re < len(line) && line[re] >= '0' && line[re] <= '9' {
+			re++
+		}
+		if ls == i || re == i+1 {
+			continue
+		}
+		asn, err1 := strconv.ParseUint(line[ls:i], 10, 16)
+		val, err2 := strconv.ParseUint(line[i+1:re], 10, 16)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		return bgp.MakeCommunity(uint16(asn), uint16(val)), line[re:], true
+	}
+	return 0, "", false
+}
+
+// FromIRR builds a dictionary from parsed aut-num objects. Only remarks
+// documenting the object's own communities are honored (a remark in
+// AS1's object documenting 2:100 is ignored — real objects quote
+// neighbors' communities in prose).
+func FromIRR(objs []rpsl.AutNum) *Dictionary {
+	d := NewDictionary()
+	for i := range objs {
+		o := &objs[i]
+		for _, r := range o.Remarks {
+			c, m, ok := ParseRemark(r)
+			if !ok {
+				continue
+			}
+			if asrel.ASN(c.ASN()) != o.ASN {
+				continue
+			}
+			d.Set(c, m)
+		}
+	}
+	return d
+}

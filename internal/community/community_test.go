@@ -1,0 +1,172 @@
+package community
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/rpsl"
+)
+
+func TestMeaningRel(t *testing.T) {
+	cases := []struct {
+		m    Meaning
+		want asrel.Rel
+		ok   bool
+	}{
+		{MeaningCustomer, asrel.P2C, true},
+		{MeaningPeer, asrel.P2P, true},
+		{MeaningProvider, asrel.C2P, true},
+		{MeaningTE, asrel.Unknown, false},
+		{MeaningUnknown, asrel.Unknown, false},
+	}
+	for _, c := range cases {
+		rel, ok := c.m.Rel()
+		if rel != c.want || ok != c.ok {
+			t.Errorf("Rel(%s) = %s,%v", c.m, rel, ok)
+		}
+		if c.m.String() == "" {
+			t.Error("empty meaning name")
+		}
+	}
+}
+
+func TestParseRemark(t *testing.T) {
+	cases := []struct {
+		line string
+		want Meaning
+		ok   bool
+	}{
+		{"65001:100 routes learned from customers", MeaningCustomer, true},
+		{"65001:200  routes learned from peers", MeaningPeer, true},
+		{"65001:300 routes learned from upstream providers", MeaningProvider, true},
+		{"65001:110 customer routes", MeaningCustomer, true},
+		{"65001:120 tagged on ingress from upstream transit", MeaningProvider, true},
+		{"65001:9100 prepend 2x on export", MeaningTE, true},
+		{"65001:9200 set local-pref 80 (backup)", MeaningTE, true},
+		{"65001:9300 blackhole", MeaningTE, true},
+		{"65001:9400 set localpref below peer routes", MeaningTE, true}, // TE wins over 'peer'
+		{"65001:400 announce to customers and peers", MeaningUnknown, false},
+		{"no community here", MeaningUnknown, false},
+		{"65001:500 some opaque tag", MeaningUnknown, false},
+		{"--- community scheme ---", MeaningUnknown, false},
+		{"99999999:1 out of range", MeaningUnknown, false},
+	}
+	for _, c := range cases {
+		_, m, ok := ParseRemark(c.line)
+		if m != c.want || ok != c.ok {
+			t.Errorf("ParseRemark(%q) = %s,%v want %s,%v", c.line, m, ok, c.want, c.ok)
+		}
+	}
+	// The community value itself must parse correctly.
+	comm, _, ok := ParseRemark("123:456 customer routes")
+	if !ok || comm != bgp.MakeCommunity(123, 456) {
+		t.Errorf("community token = %v", comm)
+	}
+}
+
+func TestDictionaryConflictDegrades(t *testing.T) {
+	d := NewDictionary()
+	c := bgp.MakeCommunity(1, 100)
+	d.Set(c, MeaningCustomer)
+	if m, ok := d.Lookup(c); !ok || m != MeaningCustomer {
+		t.Fatal("initial Set/Lookup broken")
+	}
+	d.Set(c, MeaningPeer) // conflict
+	if _, ok := d.Lookup(c); ok {
+		t.Error("conflicting entry still usable")
+	}
+	// Re-documenting the same meaning is fine.
+	c2 := bgp.MakeCommunity(1, 200)
+	d.Set(c2, MeaningPeer)
+	d.Set(c2, MeaningPeer)
+	if m, ok := d.Lookup(c2); !ok || m != MeaningPeer {
+		t.Error("idempotent Set degraded the entry")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := d.CountByMeaning()[MeaningPeer]; got != 1 {
+		t.Errorf("CountByMeaning = %d", got)
+	}
+}
+
+func TestFromIRRIgnoresForeignCommunities(t *testing.T) {
+	objs := []rpsl.AutNum{
+		{ASN: 1, Remarks: []string{
+			"1:100 customer routes",
+			"2:100 customer routes", // foreign: ignored
+		}},
+	}
+	d := FromIRR(objs)
+	if _, ok := d.Lookup(bgp.MakeCommunity(1, 100)); !ok {
+		t.Error("own community missing")
+	}
+	if _, ok := d.Lookup(bgp.MakeCommunity(2, 100)); ok {
+		t.Error("foreign community accepted")
+	}
+}
+
+// TestDialectsRoundTrip pins the contract between the generator's IRR
+// dialects and the miner's keyword rules: every documented AS's three
+// relationship tags and all TE tags must be recovered exactly.
+func TestDialectsRoundTrip(t *testing.T) {
+	in, err := gen.Build(gen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.WriteIRR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	objs, skipped, err := rpsl.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("synthetic IRR produced %d skipped objects", skipped)
+	}
+	dict := FromIRR(objs)
+
+	documented, undocumented := 0, 0
+	for _, asn := range in.Order {
+		p := in.ASes[asn].Policy
+		if !p.DefinesCommunities {
+			continue
+		}
+		if !p.Documented {
+			undocumented++
+			if _, ok := dict.Lookup(bgp.MakeCommunity(uint16(asn), p.CustomerTag)); ok {
+				t.Errorf("%s undocumented but its customer tag resolves", asn)
+			}
+			continue
+		}
+		documented++
+		checks := []struct {
+			tag  uint16
+			want Meaning
+		}{
+			{p.CustomerTag, MeaningCustomer},
+			{p.PeerTag, MeaningPeer},
+			{p.ProviderTag, MeaningProvider},
+		}
+		for _, c := range checks {
+			m, ok := dict.Lookup(bgp.MakeCommunity(uint16(asn), c.tag))
+			if !ok || m != c.want {
+				t.Fatalf("%s tag %d = %s,%v want %s (dialect %d)",
+					asn, c.tag, m, ok, c.want, p.Dialect)
+			}
+		}
+		for _, te := range p.TETags {
+			m, ok := dict.Lookup(bgp.MakeCommunity(uint16(asn), te))
+			if !ok || m != MeaningTE {
+				t.Fatalf("%s TE tag %d = %s,%v (dialect %d)", asn, te, m, ok, p.Dialect)
+			}
+		}
+	}
+	if documented == 0 || undocumented == 0 {
+		t.Errorf("degenerate documentation mix: %d/%d", documented, undocumented)
+	}
+}

@@ -1,0 +1,312 @@
+// Package core assembles the paper's methodology end to end: ingest MRT
+// archives for both address families and an IRR dump, mine the BGP
+// Communities for relationship tags, extend coverage with the
+// LocPrf "Rosetta stone", join the planes into the dual-stack link set,
+// detect hybrid IPv4/IPv6 relationships, classify the IPv6 paths against
+// the valley-free rule, and regenerate the customer-tree correction
+// sweep of Figure 2.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/community"
+	"hybridrel/internal/ctree"
+	"hybridrel/internal/dataset"
+	communityinfer "hybridrel/internal/infer/communities"
+	"hybridrel/internal/infer/locpref"
+	"hybridrel/internal/rpsl"
+	"hybridrel/internal/stats"
+	"hybridrel/internal/topology"
+	"hybridrel/internal/valley"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// LocPref tunes the LocPrf calibration step.
+	LocPref locpref.Config
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{LocPref: locpref.DefaultConfig()}
+}
+
+// Inputs are the raw measurement inputs: any number of MRT TABLE_DUMP_V2
+// archives per plane plus an IRR database.
+type Inputs struct {
+	MRT4 []io.Reader
+	MRT6 []io.Reader
+	IRR  io.Reader
+}
+
+// Analysis is the assembled result of the methodology.
+type Analysis struct {
+	D4, D6 *dataset.Dataset
+	Dict   *community.Dictionary
+
+	// Comm4/Comm6 and Loc4/Loc6 are the per-plane inference results.
+	Comm4, Comm6 *communityinfer.Result
+	Loc4, Loc6   *locpref.Result
+
+	// Rel4 / Rel6 are the merged relationship tables (communities first,
+	// LocPrf additions second).
+	Rel4, Rel6 *asrel.Table
+
+	graph6 *topology.Graph
+}
+
+// Run executes the full pipeline from raw inputs.
+func Run(in Inputs, opt Options) (*Analysis, error) {
+	d4 := dataset.New(asrel.IPv4)
+	for i, r := range in.MRT4 {
+		if err := d4.AddMRT(r); err != nil {
+			return nil, fmt.Errorf("core: IPv4 archive %d: %w", i, err)
+		}
+	}
+	d6 := dataset.New(asrel.IPv6)
+	for i, r := range in.MRT6 {
+		if err := d6.AddMRT(r); err != nil {
+			return nil, fmt.Errorf("core: IPv6 archive %d: %w", i, err)
+		}
+	}
+	dict := community.NewDictionary()
+	if in.IRR != nil {
+		objs, _, err := rpsl.Parse(in.IRR)
+		if err != nil {
+			return nil, fmt.Errorf("core: IRR: %w", err)
+		}
+		dict = community.FromIRR(objs)
+	}
+	return Analyze(d4, d6, dict, opt), nil
+}
+
+// Analyze runs the inference stack over already-ingested datasets.
+func Analyze(d4, d6 *dataset.Dataset, dict *community.Dictionary, opt Options) *Analysis {
+	a := &Analysis{D4: d4, D6: d6, Dict: dict}
+	paths4, paths6 := d4.Paths(), d6.Paths()
+	a.Comm4 = communityinfer.Infer(paths4, dict)
+	a.Comm6 = communityinfer.Infer(paths6, dict)
+	a.Loc4 = locpref.Infer(paths4, dict, a.Comm4.Table, opt.LocPref)
+	a.Loc6 = locpref.Infer(paths6, dict, a.Comm6.Table, opt.LocPref)
+	a.Rel4 = merge(a.Comm4.Table, a.Loc4.Table)
+	a.Rel6 = merge(a.Comm6.Table, a.Loc6.Table)
+	a.graph6 = d6.Graph()
+	return a
+}
+
+// merge overlays additions onto base; base entries win on conflict.
+func merge(base, additions *asrel.Table) *asrel.Table {
+	out := base.Clone()
+	additions.Links(func(k asrel.LinkKey, r asrel.Rel) {
+		if !out.GetKey(k).Known() {
+			out.SetKey(k, r)
+		}
+	})
+	return out
+}
+
+// Coverage is the dataset-summary table (§3 ¶1 of the paper).
+type Coverage struct {
+	Paths6      int // unique IPv6 AS paths
+	Links6      int // IPv6 AS links
+	Links4      int // IPv4 AS links
+	DualStack   int // links visible in both planes
+	Classified6 int // IPv6 links with a recovered relationship
+	// ClassifiedDual counts dual-stack links classified in the IPv6
+	// plane; ClassifiedDualBoth requires both planes (the hybrid
+	// detection population).
+	ClassifiedDual     int
+	ClassifiedDualBoth int
+}
+
+// Share6 returns Classified6/Links6 (the paper's 72%).
+func (c Coverage) Share6() float64 { return stats.Ratio(c.Classified6, c.Links6) }
+
+// ShareDual returns ClassifiedDual/DualStack (the paper's 81%).
+func (c Coverage) ShareDual() float64 { return stats.Ratio(c.ClassifiedDual, c.DualStack) }
+
+// Coverage computes the dataset summary.
+func (a *Analysis) Coverage() Coverage {
+	c := Coverage{
+		Paths6: a.D6.NumUniquePaths(),
+		Links6: a.D6.NumLinks(),
+		Links4: a.D4.NumLinks(),
+	}
+	for _, k := range dataset.DualStack(a.D4, a.D6) {
+		c.DualStack++
+		rel6 := a.Rel6.GetKey(k).Known()
+		if rel6 {
+			c.ClassifiedDual++
+		}
+		if rel6 && a.Rel4.GetKey(k).Known() {
+			c.ClassifiedDualBoth++
+		}
+	}
+	for _, k := range a.D6.Links() {
+		if a.Rel6.GetKey(k).Known() {
+			c.Classified6++
+		}
+	}
+	return c
+}
+
+// HybridLink is one detected hybrid relationship.
+type HybridLink struct {
+	Key   asrel.LinkKey
+	V4    asrel.Rel // Lo→Hi oriented
+	V6    asrel.Rel
+	Class asrel.HybridClass
+	// Visibility is the number of unique IPv6 paths traversing the link
+	// (the paper's ordering criterion for Figure 2).
+	Visibility int
+}
+
+// Hybrids detects every dual-stack link whose recovered relationships
+// differ between the planes, ordered by descending IPv6 path visibility.
+func (a *Analysis) Hybrids() []HybridLink {
+	var out []HybridLink
+	for _, k := range dataset.DualStack(a.D4, a.D6) {
+		v4, v6 := a.Rel4.GetKey(k), a.Rel6.GetKey(k)
+		cls := asrel.Classify(v4, v6)
+		if cls == asrel.NotHybrid {
+			continue
+		}
+		out = append(out, HybridLink{
+			Key: k, V4: v4, V6: v6, Class: cls,
+			Visibility: a.D6.LinkVisibility(k),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Visibility != out[j].Visibility {
+			return out[i].Visibility > out[j].Visibility
+		}
+		if out[i].Key.Lo != out[j].Key.Lo {
+			return out[i].Key.Lo < out[j].Key.Lo
+		}
+		return out[i].Key.Hi < out[j].Key.Hi
+	})
+	return out
+}
+
+// HybridCensus is the §3 ¶2 table: how many classified dual-stack links
+// are hybrid, split by class.
+type HybridCensus struct {
+	DualClassified int // dual-stack links classified in both planes
+	Hybrid         int
+	ByClass        map[asrel.HybridClass]int
+}
+
+// HybridShare returns Hybrid/DualClassified (the paper's 13%).
+func (h HybridCensus) HybridShare() float64 { return stats.Ratio(h.Hybrid, h.DualClassified) }
+
+// ClassShare returns the share of hybrids in the given class (the
+// paper's 67% for H1).
+func (h HybridCensus) ClassShare(c asrel.HybridClass) float64 {
+	return stats.Ratio(h.ByClass[c], h.Hybrid)
+}
+
+// HybridCensus tallies the hybrid population.
+func (a *Analysis) HybridCensus() HybridCensus {
+	census := HybridCensus{ByClass: make(map[asrel.HybridClass]int)}
+	census.DualClassified = a.Coverage().ClassifiedDualBoth
+	for _, h := range a.Hybrids() {
+		census.Hybrid++
+		census.ByClass[h.Class]++
+	}
+	return census
+}
+
+// Visibility is the §3 ¶3 result: how present hybrid links are in the
+// IPv6 paths and how their endpoints compare to the average link.
+type Visibility struct {
+	Paths           int
+	PathsWithHybrid int
+	// MeanEndpointDegree compares hybrid links' endpoint degree (in the
+	// observed IPv6 graph) against all dual-stack links'.
+	MeanHybridEndpointDegree float64
+	MeanDualEndpointDegree   float64
+}
+
+// Share returns PathsWithHybrid/Paths (the paper's >28%).
+func (v Visibility) Share() float64 { return stats.Ratio(v.PathsWithHybrid, v.Paths) }
+
+// HybridVisibility scans every IPv6 path for hybrid links.
+func (a *Analysis) HybridVisibility() Visibility {
+	hybrids := make(map[asrel.LinkKey]bool)
+	var hybDegrees []int
+	for _, h := range a.Hybrids() {
+		hybrids[h.Key] = true
+		hybDegrees = append(hybDegrees,
+			a.graph6.Degree(h.Key.Lo), a.graph6.Degree(h.Key.Hi))
+	}
+	var dualDegrees []int
+	for _, k := range dataset.DualStack(a.D4, a.D6) {
+		dualDegrees = append(dualDegrees,
+			a.graph6.Degree(k.Lo), a.graph6.Degree(k.Hi))
+	}
+	v := Visibility{
+		MeanHybridEndpointDegree: stats.MeanInt(hybDegrees),
+		MeanDualEndpointDegree:   stats.MeanInt(dualDegrees),
+	}
+	for _, p := range a.D6.Paths() {
+		v.Paths++
+		for i := 0; i+1 < len(p.Path); i++ {
+			if hybrids[asrel.Key(p.Path[i], p.Path[i+1])] {
+				v.PathsWithHybrid++
+				break
+			}
+		}
+	}
+	return v
+}
+
+// ValleyReport classifies every IPv6 path against the valley-free rule
+// under the recovered relationships and assesses which valley paths are
+// necessary for reachability (§3 ¶4).
+func (a *Analysis) ValleyReport() valley.Stats {
+	_, st := valley.Assess(a.D6.Paths(), a.Rel6, a.graph6)
+	return st
+}
+
+// BaselineV6 builds the single-plane baseline annotation that Figure 2
+// starts from — the [4]-style dataset: dual-stack links inherit the
+// IPv4-plane inference (hybrids are necessarily wrong), IPv6-only links
+// take the IPv6-plane inference.
+func (a *Analysis) BaselineV6(infer4, infer6 *asrel.Table) *asrel.Table {
+	out := asrel.NewTable()
+	for _, k := range a.D6.Links() {
+		if a.D4.HasLink(k) {
+			if r := infer4.GetKey(k); r.Known() {
+				out.SetKey(k, r)
+			}
+			continue
+		}
+		if r := infer6.GetKey(k); r.Known() {
+			out.SetKey(k, r)
+		}
+	}
+	return out
+}
+
+// Figure2 reproduces the paper's Figure 2: starting from the baseline
+// annotation, the topN most visible hybrid links are corrected one at a
+// time to their communities-derived IPv6 relationship, measuring the
+// union-of-customer-trees metric after every correction. maxSources
+// bounds the valley-free sampling (0 = exact).
+func (a *Analysis) Figure2(baseline *asrel.Table, topN, maxSources int) []ctree.SweepPoint {
+	hybrids := a.Hybrids()
+	if topN > len(hybrids) {
+		topN = len(hybrids)
+	}
+	corrections := make([]ctree.Correction, 0, topN)
+	for _, h := range hybrids[:topN] {
+		corrections = append(corrections, ctree.Correction{
+			Key: h.Key, Rel: h.V6, Visibility: h.Visibility,
+		})
+	}
+	return ctree.Sweep(a.graph6, baseline, corrections, maxSources)
+}

@@ -1,0 +1,270 @@
+// Package dataset assembles the observed measurement data the paper
+// works with: it ingests MRT TABLE_DUMP_V2 archives, cleans the AS
+// paths (prepending removal, loop and AS_SET rejection), deduplicates
+// them, extracts the AS-level links of one address-family plane, and
+// joins two planes into the dual-stack link set.
+//
+// Everything downstream — the baseline inference algorithms, the
+// communities miner, the LocPrf calibration, the valley analysis —
+// consumes a Dataset, never the generator's ground truth.
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/mrt"
+	"hybridrel/internal/topology"
+)
+
+// PathObs is one deduplicated AS-path observation with the attributes
+// relevant to relationship inference.
+type PathObs struct {
+	// Vantage is the collector peer (the first AS of Path).
+	Vantage asrel.ASN
+	// Path runs vantage → origin, cleaned of prepending.
+	Path []asrel.ASN
+	// Prefixes lists the distinct prefixes observed with this path.
+	Prefixes []netip.Prefix
+	// Communities is the community set of the route.
+	Communities []bgp.Community
+	// LocPrf is the vantage's LOCAL_PREF when the feed provides it.
+	LocPrf    uint32
+	HasLocPrf bool
+	// Obs counts raw observations merged into this unique path.
+	Obs int
+}
+
+// Origin returns the last AS of the path.
+func (p *PathObs) Origin() asrel.ASN { return p.Path[len(p.Path)-1] }
+
+// Dataset is the observed data of one address-family plane.
+type Dataset struct {
+	AF asrel.AF
+
+	paths map[string]*PathObs
+	links map[asrel.LinkKey]int // unique paths containing the link
+
+	// ingest tallies
+	observations int
+	droppedSets  int
+	droppedLoops int
+	skippedAF    int
+}
+
+// New returns an empty dataset for one plane.
+func New(af asrel.AF) *Dataset {
+	return &Dataset{
+		AF:    af,
+		paths: make(map[string]*PathObs),
+		links: make(map[asrel.LinkKey]int),
+	}
+}
+
+// CleanPath canonicalizes a raw AS path: consecutive duplicates
+// (prepending) are collapsed; a path in which an AS reappears
+// non-consecutively is a loop and is rejected.
+func CleanPath(raw []asrel.ASN) ([]asrel.ASN, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("dataset: empty AS path")
+	}
+	out := make([]asrel.ASN, 0, len(raw))
+	for _, a := range raw {
+		if len(out) > 0 && out[len(out)-1] == a {
+			continue // prepending
+		}
+		out = append(out, a)
+	}
+	seen := make(map[asrel.ASN]bool, len(out))
+	for _, a := range out {
+		if seen[a] {
+			return nil, fmt.Errorf("dataset: AS path loop through %s", a)
+		}
+		seen[a] = true
+	}
+	return out, nil
+}
+
+func pathKey(p []asrel.ASN) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, a := range p {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return string(b)
+}
+
+// AddPath records one raw path observation. Paths are cleaned and
+// deduplicated; repeated observations merge their prefixes and keep the
+// first-seen attributes (identical vantages announce identical
+// attributes for one path).
+func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Community, locPrf uint32, hasLocPrf bool) error {
+	d.observations++
+	path, err := CleanPath(raw)
+	if err != nil {
+		d.droppedLoops++
+		return err
+	}
+	key := pathKey(path)
+	obs, ok := d.paths[key]
+	if !ok {
+		obs = &PathObs{
+			Vantage:     path[0],
+			Path:        path,
+			Communities: append([]bgp.Community(nil), comms...),
+			LocPrf:      locPrf,
+			HasLocPrf:   hasLocPrf,
+		}
+		d.paths[key] = obs
+		for i := 1; i < len(path); i++ {
+			d.links[asrel.Key(path[i-1], path[i])]++
+		}
+	}
+	obs.Obs++
+	if prefix.IsValid() {
+		dup := false
+		for _, p := range obs.Prefixes {
+			if p == prefix {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			obs.Prefixes = append(obs.Prefixes, prefix)
+		}
+	}
+	return nil
+}
+
+// AddMRT ingests a TABLE_DUMP_V2 archive, keeping only RIB records of
+// this dataset's plane. Records of other types or planes are counted
+// and skipped; malformed records abort with an error.
+func (d *Dataset) AddMRT(r io.Reader) error {
+	mr := mrt.NewReader(r)
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rib, ok := rec.Message.(*mrt.RIB)
+		if !ok {
+			continue
+		}
+		v6 := rib.Prefix.Addr().Is6()
+		if (d.AF == asrel.IPv6) != v6 {
+			d.skippedAF++
+			continue
+		}
+		for i := range rib.Entries {
+			e := &rib.Entries[i]
+			path := e.Attrs.EffectivePath()
+			if path.HasSet() {
+				d.observations++
+				d.droppedSets++
+				continue
+			}
+			flat := path.Flatten()
+			if len(flat) == 0 {
+				d.observations++
+				d.droppedSets++
+				continue
+			}
+			// Errors here are loop drops, already tallied.
+			_ = d.AddPath(flat, rib.Prefix, e.Attrs.Communities, e.Attrs.LocalPref, e.Attrs.HasLocalPref)
+		}
+	}
+}
+
+// NumUniquePaths returns the number of distinct cleaned AS paths.
+func (d *Dataset) NumUniquePaths() int { return len(d.paths) }
+
+// NumObservations returns the number of raw path observations ingested,
+// including dropped ones.
+func (d *Dataset) NumObservations() int { return d.observations }
+
+// Dropped returns the counts of observations rejected for AS_SETs and
+// for loops.
+func (d *Dataset) Dropped() (sets, loops int) { return d.droppedSets, d.droppedLoops }
+
+// Paths returns all unique path observations ordered by (vantage, path).
+func (d *Dataset) Paths() []*PathObs {
+	keys := make([]string, 0, len(d.paths))
+	for k := range d.paths {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*PathObs, len(keys))
+	for i, k := range keys {
+		out[i] = d.paths[k]
+	}
+	return out
+}
+
+// Links returns the observed link keys in canonical order.
+func (d *Dataset) Links() []asrel.LinkKey {
+	out := make([]asrel.LinkKey, 0, len(d.links))
+	for k := range d.links {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// NumLinks returns the number of distinct observed links.
+func (d *Dataset) NumLinks() int { return len(d.links) }
+
+// HasLink reports whether the link was observed on any path.
+func (d *Dataset) HasLink(k asrel.LinkKey) bool { return d.links[k] > 0 }
+
+// LinkVisibility returns how many unique paths traverse the link.
+func (d *Dataset) LinkVisibility(k asrel.LinkKey) int { return d.links[k] }
+
+// Graph materializes the observed topology as a graph.
+func (d *Dataset) Graph() *topology.Graph {
+	g := topology.New()
+	for k := range d.links {
+		g.AddLink(k.Lo, k.Hi)
+	}
+	return g
+}
+
+// Vantages returns the distinct vantage ASes seen, ascending.
+func (d *Dataset) Vantages() []asrel.ASN {
+	seen := make(map[asrel.ASN]bool)
+	for _, p := range d.paths {
+		seen[p.Vantage] = true
+	}
+	out := make([]asrel.ASN, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DualStack returns the links observed in both planes, in canonical
+// order. The arguments may be passed in either order.
+func DualStack(a, b *Dataset) []asrel.LinkKey {
+	small, large := a, b
+	if small.NumLinks() > large.NumLinks() {
+		small, large = large, small
+	}
+	var out []asrel.LinkKey
+	for _, k := range small.Links() {
+		if large.HasLink(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/mrt"
+)
+
+func TestCleanPath(t *testing.T) {
+	got, err := CleanPath([]asrel.ASN{1, 1, 2, 2, 2, 3})
+	if err != nil || !reflect.DeepEqual(got, []asrel.ASN{1, 2, 3}) {
+		t.Errorf("prepend collapse = %v, %v", got, err)
+	}
+	if _, err := CleanPath([]asrel.ASN{1, 2, 1}); err == nil {
+		t.Error("loop accepted")
+	}
+	if _, err := CleanPath(nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	single, err := CleanPath([]asrel.ASN{7})
+	if err != nil || len(single) != 1 {
+		t.Error("single-AS path rejected")
+	}
+}
+
+func TestAddPathDedupe(t *testing.T) {
+	d := New(asrel.IPv4)
+	p1 := netip.MustParsePrefix("10.0.0.0/24")
+	p2 := netip.MustParsePrefix("10.0.1.0/24")
+	comms := []bgp.Community{bgp.MakeCommunity(2, 100)}
+	if err := d.AddPath([]asrel.ASN{1, 2, 3}, p1, comms, 300, true); err != nil {
+		t.Fatal(err)
+	}
+	// Same path with prepending and another prefix merges.
+	if err := d.AddPath([]asrel.ASN{1, 2, 2, 3}, p2, comms, 300, true); err != nil {
+		t.Fatal(err)
+	}
+	// Same prefix again: no duplicate prefix entry.
+	if err := d.AddPath([]asrel.ASN{1, 2, 3}, p1, comms, 300, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUniquePaths() != 1 {
+		t.Fatalf("unique paths = %d, want 1", d.NumUniquePaths())
+	}
+	obs := d.Paths()[0]
+	if obs.Obs != 3 || len(obs.Prefixes) != 2 {
+		t.Errorf("obs = %d prefixes = %v", obs.Obs, obs.Prefixes)
+	}
+	if obs.Vantage != 1 || obs.Origin() != 3 {
+		t.Error("vantage/origin wrong")
+	}
+	if d.NumLinks() != 2 || d.LinkVisibility(asrel.Key(1, 2)) != 1 {
+		t.Errorf("links = %d, vis(1-2) = %d", d.NumLinks(), d.LinkVisibility(asrel.Key(1, 2)))
+	}
+	if d.NumObservations() != 3 {
+		t.Errorf("observations = %d", d.NumObservations())
+	}
+}
+
+func TestAddPathLoopCounted(t *testing.T) {
+	d := New(asrel.IPv4)
+	if err := d.AddPath([]asrel.ASN{1, 2, 1}, netip.Prefix{}, nil, 0, false); err == nil {
+		t.Fatal("loop path accepted")
+	}
+	_, loops := d.Dropped()
+	if loops != 1 {
+		t.Errorf("loop drops = %d", loops)
+	}
+	if d.NumUniquePaths() != 0 {
+		t.Error("loop path stored")
+	}
+}
+
+func TestLinkVisibilityCounts(t *testing.T) {
+	d := New(asrel.IPv4)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(d.AddPath([]asrel.ASN{1, 2, 3}, netip.Prefix{}, nil, 0, false))
+	check(d.AddPath([]asrel.ASN{4, 2, 3}, netip.Prefix{}, nil, 0, false))
+	check(d.AddPath([]asrel.ASN{5, 2}, netip.Prefix{}, nil, 0, false))
+	if got := d.LinkVisibility(asrel.Key(2, 3)); got != 2 {
+		t.Errorf("vis(2-3) = %d, want 2", got)
+	}
+	if got := d.LinkVisibility(asrel.Key(9, 9)); got != 0 {
+		t.Errorf("vis(absent) = %d", got)
+	}
+	g := d.Graph()
+	if g.NumLinks() != 4 || !g.HasLink(5, 2) {
+		t.Errorf("graph links = %d", g.NumLinks())
+	}
+	wantV := []asrel.ASN{1, 4, 5}
+	if got := d.Vantages(); !reflect.DeepEqual(got, wantV) {
+		t.Errorf("vantages = %v", got)
+	}
+}
+
+func TestAddMRTFiltersPlane(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	ts := testTime()
+	pit := &mrt.PeerIndexTable{
+		CollectorID: mrt.CollectorAddr(1),
+		ViewName:    "t",
+		Peers: []mrt.Peer{{
+			BGPID: netip.MustParseAddr("10.0.0.1"),
+			Addr:  netip.MustParseAddr("10.0.0.1"),
+			ASN:   1,
+		}},
+	}
+	if err := w.WritePeerIndexTable(ts, pit); err != nil {
+		t.Fatal(err)
+	}
+	// One v4 RIB and one v6 RIB.
+	var e4 mrt.RIBEntry
+	e4.OriginatedAt = ts
+	e4.Attrs.HasOrigin = true
+	e4.Attrs.ASPath = bgp.Sequence(1, 2, 3)
+	e4.Attrs.NextHop = netip.MustParseAddr("10.0.0.1")
+	if err := w.WriteRIB(ts, &mrt.RIB{Prefix: netip.MustParsePrefix("10.9.0.0/24"), Entries: []mrt.RIBEntry{e4}}); err != nil {
+		t.Fatal(err)
+	}
+	var e6 mrt.RIBEntry
+	e6.OriginatedAt = ts
+	e6.Attrs.HasOrigin = true
+	e6.Attrs.ASPath = bgp.Sequence(1, 2, 5)
+	e6.Attrs.MPReach = &bgp.MPReach{NextHop: []netip.Addr{netip.MustParseAddr("fd00::1")}}
+	if err := w.WriteRIB(ts, &mrt.RIB{Prefix: netip.MustParsePrefix("2001:db8:7::/48"), Entries: []mrt.RIBEntry{e6}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	d6 := New(asrel.IPv6)
+	if err := d6.AddMRT(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if d6.NumUniquePaths() != 1 || d6.Paths()[0].Origin() != 5 {
+		t.Errorf("v6 ingest = %d paths", d6.NumUniquePaths())
+	}
+	d4 := New(asrel.IPv4)
+	if err := d4.AddMRT(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if d4.NumUniquePaths() != 1 || d4.Paths()[0].Origin() != 3 {
+		t.Errorf("v4 ingest = %d paths", d4.NumUniquePaths())
+	}
+}
+
+func TestAddMRTDropsSetPaths(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	ts := testTime()
+	pit := &mrt.PeerIndexTable{
+		CollectorID: mrt.CollectorAddr(1),
+		ViewName:    "t",
+		Peers: []mrt.Peer{{
+			BGPID: netip.MustParseAddr("10.0.0.1"),
+			Addr:  netip.MustParseAddr("10.0.0.1"),
+			ASN:   1,
+		}},
+	}
+	if err := w.WritePeerIndexTable(ts, pit); err != nil {
+		t.Fatal(err)
+	}
+	var e mrt.RIBEntry
+	e.OriginatedAt = ts
+	e.Attrs.HasOrigin = true
+	e.Attrs.ASPath = bgp.ASPath{
+		{Type: bgp.SegSequence, ASNs: []asrel.ASN{1, 2}},
+		{Type: bgp.SegSet, ASNs: []asrel.ASN{3, 4}},
+	}
+	e.Attrs.NextHop = netip.MustParseAddr("10.0.0.1")
+	if err := w.WriteRIB(ts, &mrt.RIB{Prefix: netip.MustParsePrefix("10.9.0.0/24"), Entries: []mrt.RIBEntry{e}}); err != nil {
+		t.Fatal(err)
+	}
+	d := New(asrel.IPv4)
+	if err := d.AddMRT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := d.Dropped()
+	if sets != 1 || d.NumUniquePaths() != 0 {
+		t.Errorf("sets dropped = %d, unique = %d", sets, d.NumUniquePaths())
+	}
+}
+
+func TestDualStack(t *testing.T) {
+	d4 := New(asrel.IPv4)
+	d6 := New(asrel.IPv6)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(d4.AddPath([]asrel.ASN{1, 2, 3}, netip.Prefix{}, nil, 0, false))
+	check(d4.AddPath([]asrel.ASN{1, 4}, netip.Prefix{}, nil, 0, false))
+	check(d6.AddPath([]asrel.ASN{2, 3}, netip.Prefix{}, nil, 0, false))
+	check(d6.AddPath([]asrel.ASN{5, 6}, netip.Prefix{}, nil, 0, false))
+	want := []asrel.LinkKey{asrel.Key(2, 3)}
+	if got := DualStack(d4, d6); !reflect.DeepEqual(got, want) {
+		t.Errorf("DualStack = %v", got)
+	}
+	if got := DualStack(d6, d4); !reflect.DeepEqual(got, want) {
+		t.Errorf("DualStack argument order matters: %v", got)
+	}
+}

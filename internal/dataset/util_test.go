@@ -1,0 +1,7 @@
+package dataset
+
+import "time"
+
+func testTime() time.Time {
+	return time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+}

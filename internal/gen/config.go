@@ -1,0 +1,167 @@
+// Package gen builds the synthetic Internet that substitutes for the
+// August 2010 RouteViews/RIPE RIS dataset: a tiered AS-level topology
+// with ground-truth IPv4 and IPv6 relationships, a planted population of
+// hybrid dual-stack links matching the mix reported by Giotsas & Zhou, a
+// partitioned IPv6 tier-1 clique (the AS6939/AS174 peering-dispute
+// analogue), per-AS BGP Communities schemes and LocPrf policies, route
+// leak rules, prefix originations, and vantage-point selection.
+//
+// The generator is fully deterministic for a given Config: all
+// randomness flows from one seed and no map iteration order reaches the
+// output.
+package gen
+
+// Config holds every generator knob. The zero value is not useful;
+// start from DefaultConfig or SmallConfig and override.
+type Config struct {
+	// Seed drives all randomness. Same seed, same Internet.
+	Seed int64
+
+	// NumASes is the total number of ASes in the IPv4 plane.
+	NumASes int
+	// NumTier1 is the size of the tier-1 clique.
+	NumTier1 int
+	// TransitFraction is the probability that a non-tier-1 AS is a
+	// transit provider rather than a stub.
+	TransitFraction float64
+	// MaxProviders caps multihoming; every non-tier-1 AS gets at least
+	// one provider and each extra with probability ExtraProviderProb.
+	MaxProviders      int
+	ExtraProviderProb float64
+	// TransitPeerAvg is the mean number of peering links a transit AS
+	// initiates toward other transit ASes.
+	TransitPeerAvg float64
+	// StubPeerProb is the probability that a stub initiates one peering
+	// (IXP-style) link with another stub.
+	StubPeerProb float64
+
+	// V6TransitProb / V6StubProb control IPv6 enablement per tier
+	// (tier-1 ASes are always IPv6-enabled).
+	V6TransitProb float64
+	V6StubProb    float64
+	// DualStackLinkProb is the probability that a v4 link between two
+	// IPv6-enabled ASes also carries an IPv6 session.
+	DualStackLinkProb float64
+	// V6OnlyPeerings is the number of additional IPv6-only peering
+	// links among IPv6 transit ASes (the dense 2010 v6 peering mesh).
+	V6OnlyPeerings int
+
+	// Dispute disconnects two tier-1 ASes in the IPv6 plane only,
+	// partitioning their exclusive customer cones (valley-free-wise).
+	Dispute bool
+	// NumRelaxers is how many multihomed customers of both disputants
+	// leak routes between them to restore reachability.
+	NumRelaxers int
+	// NumNoiseLeakers is how many additional ASes carry a scoped route
+	// leak (misconfiguration / TE), creating unnecessary valley paths.
+	NumNoiseLeakers int
+
+	// HubPeerings is the size of the free-transit hub's settlement-free
+	// IPv4 peering mesh with other large networks — the candidate pool
+	// its free IPv6 transit offer converts into H1 hybrids.
+	HubPeerings int
+	// HubH1Bias multiplies the selection weight of hub links during H1
+	// planting, concentrating hybrids on the hub as observed in 2010.
+	HubH1Bias float64
+
+	// HybridFraction is the target fraction of dual-stack links whose
+	// IPv6 relationship is changed from the IPv4 one.
+	HybridFraction float64
+	// HybridH1Frac is the share of hybrids of class H1 (v4 p2p → v6
+	// transit); the paper reports 67%. The rest become H2 except for a
+	// single planted H3 reversal.
+	HybridH1Frac float64
+
+	// Community scheme adoption and propagation behaviour.
+	CommunityAdoptTransit float64 // transit & tier-1 ASes defining relationship communities
+	CommunityAdoptStub    float64
+	CommunityStripProb    float64 // transit ASes scrubbing communities on export
+	IRRDocumentedProb     float64 // adopters whose scheme appears in the IRR
+
+	// TEProb is the probability that a vantage RIB entry carries a
+	// traffic-engineering LocPrf override plus the matching TE community.
+	TEProb float64
+
+	// ExtraPrefixLargeAS gives the highest-degree IPv6 ASes additional
+	// originated prefixes, matching the fatter origination of large
+	// networks.
+	ExtraPrefixLargeAS int
+
+	// NumVantages is the number of collector peer ASes; VantageLocPrfFrac
+	// of them provide iBGP-style feeds that include LOCAL_PREF.
+	NumVantages       int
+	VantageLocPrfFrac float64
+}
+
+// DefaultConfig is the experiment-scale configuration: the ratios land
+// near the paper's headline numbers and the absolute counts are a
+// laptop-friendly scale-down of August 2010 (≈12k v4 ASes, ≈3k v6 ASes).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  42,
+		NumASes:               12000,
+		NumTier1:              10,
+		TransitFraction:       0.16,
+		MaxProviders:          3,
+		ExtraProviderProb:     0.45,
+		TransitPeerAvg:        2.6,
+		StubPeerProb:          0.06,
+		V6TransitProb:         0.62,
+		V6StubProb:            0.14,
+		DualStackLinkProb:     0.80,
+		V6OnlyPeerings:        2400,
+		Dispute:               true,
+		NumRelaxers:           4,
+		NumNoiseLeakers:       90,
+		HubPeerings:           48,
+		HubH1Bias:             6,
+		HybridFraction:        0.13,
+		HybridH1Frac:          0.67,
+		CommunityAdoptTransit: 0.84,
+		CommunityAdoptStub:    0.40,
+		CommunityStripProb:    0.12,
+		IRRDocumentedProb:     0.90,
+		TEProb:                0.05,
+		ExtraPrefixLargeAS:    2,
+		NumVantages:           100,
+		VantageLocPrfFrac:     0.35,
+	}
+}
+
+// SmallConfig is the test-scale configuration: the same structure at
+// roughly 1/20 the size, fast enough for unit tests.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.NumASes = 600
+	c.NumTier1 = 6
+	c.V6OnlyPeerings = 120
+	c.NumRelaxers = 2
+	c.NumNoiseLeakers = 4
+	c.HubPeerings = 14
+	c.NumVantages = 24
+	return c
+}
+
+// validate reports configuration errors early rather than producing a
+// degenerate Internet.
+func (c Config) validate() error {
+	switch {
+	case c.NumTier1 < 2:
+		return errConfig("NumTier1 must be at least 2")
+	case c.NumASes < c.NumTier1+10:
+		return errConfig("NumASes too small for the tier structure")
+	case c.NumASes > 60000:
+		return errConfig("NumASes above 60000 exceeds 16-bit community ASN space")
+	case c.MaxProviders < 1:
+		return errConfig("MaxProviders must be at least 1")
+	case c.HybridFraction < 0 || c.HybridFraction > 0.5:
+		return errConfig("HybridFraction out of range [0, 0.5]")
+	case c.NumVantages < 1:
+		return errConfig("NumVantages must be at least 1")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "gen: invalid config: " + string(e) }

@@ -1,0 +1,82 @@
+// Package communities implements the paper's primary inference method:
+// mining the BGP Communities attribute for relationship tags. A
+// documented community T:v on a route's community list was attached by
+// AS T when it imported the route; the documented meaning of v names the
+// business relationship between T and the neighbor T learned the route
+// from — the next AS toward the origin on the AS path.
+package communities
+
+import (
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/community"
+	"hybridrel/internal/dataset"
+	"hybridrel/internal/infer"
+)
+
+// Result is the outcome of community mining.
+type Result struct {
+	// Table holds the resolved relationships.
+	Table *asrel.Table
+	// Votes exposes the per-link evidence for diagnostics.
+	Votes *infer.VoteTable
+	// TaggedPaths counts paths that contributed at least one usable tag.
+	TaggedPaths int
+	// OffPathTags counts tags whose tagger AS was not on the path
+	// (ignored: the attribution is undefined).
+	OffPathTags int
+	// TERoutes counts paths carrying at least one TE community.
+	TERoutes int
+}
+
+// Infer mines every path against the dictionary.
+func Infer(paths []*dataset.PathObs, dict *community.Dictionary) *Result {
+	res := &Result{Votes: infer.NewVoteTable()}
+	for _, p := range paths {
+		if len(p.Communities) == 0 || len(p.Path) < 2 {
+			continue
+		}
+		// Index the path for tagger attribution.
+		pos := make(map[asrel.ASN]int, len(p.Path))
+		for i, a := range p.Path {
+			pos[a] = i
+		}
+		contributed := false
+		hasTE := false
+		for _, c := range p.Communities {
+			meaning, ok := dict.Lookup(c)
+			if !ok {
+				continue
+			}
+			if meaning == community.MeaningTE {
+				hasTE = true
+				continue
+			}
+			tagger := asrel.ASN(c.ASN())
+			i, onPath := pos[tagger]
+			if !onPath {
+				res.OffPathTags++
+				continue
+			}
+			if i == len(p.Path)-1 {
+				// The origin imports nothing on this path; a
+				// relationship tag from it is unattributable.
+				res.OffPathTags++
+				continue
+			}
+			rel, ok := meaning.Rel()
+			if !ok {
+				continue
+			}
+			res.Votes.Add(tagger, p.Path[i+1], rel)
+			contributed = true
+		}
+		if contributed {
+			res.TaggedPaths++
+		}
+		if hasTE {
+			res.TERoutes++
+		}
+	}
+	res.Table = res.Votes.Resolve()
+	return res
+}

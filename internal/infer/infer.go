@@ -1,0 +1,184 @@
+// Package infer holds the pieces shared by every Type-of-Relationship
+// inference algorithm in this repository: the vote accumulator used to
+// aggregate per-path evidence into per-link relationships, and the
+// scoring helper that grades an inferred table against ground truth.
+package infer
+
+import (
+	"sort"
+
+	"hybridrel/internal/asrel"
+)
+
+// Votes tallies directed relationship evidence for one link, normalized
+// to the canonical Lo→Hi orientation.
+type Votes struct {
+	P2C int // Lo is provider of Hi
+	C2P int // Lo is customer of Hi
+	P2P int
+	S2S int
+}
+
+// Total returns the number of votes received.
+func (v *Votes) Total() int { return v.P2C + v.C2P + v.P2P + v.S2S }
+
+// Transit returns the number of transit votes (either direction).
+func (v *Votes) Transit() int { return v.P2C + v.C2P }
+
+// Add registers one vote for the directed pair (a, b) having
+// relationship r, where k is the canonical key of {a, b}.
+func (v *Votes) Add(k asrel.LinkKey, a asrel.ASN, r asrel.Rel) {
+	if a != k.Lo {
+		r = r.Invert()
+	}
+	switch r {
+	case asrel.P2C:
+		v.P2C++
+	case asrel.C2P:
+		v.C2P++
+	case asrel.P2P:
+		v.P2P++
+	case asrel.S2S:
+		v.S2S++
+	}
+}
+
+// Resolve collapses the votes into one relationship (Lo→Hi oriented)
+// using the repository-wide rule: majority wins; a transit-vs-peer tie
+// breaks toward transit (providers tag customer routes far more reliably
+// than peers mis-tag); an unresolvable direction conflict yields Unknown.
+func (v *Votes) Resolve() asrel.Rel {
+	if v.Total() == 0 {
+		return asrel.Unknown
+	}
+	if v.S2S > v.Transit() && v.S2S > v.P2P {
+		return asrel.S2S
+	}
+	if v.P2P > v.Transit() {
+		return asrel.P2P
+	}
+	// Transit interpretation (wins ties against p2p).
+	switch {
+	case v.P2C > v.C2P:
+		return asrel.P2C
+	case v.C2P > v.P2C:
+		return asrel.C2P
+	case v.P2P > 0:
+		return asrel.P2P // direction tied; peer evidence breaks it
+	default:
+		return asrel.Unknown // pure directional conflict
+	}
+}
+
+// VoteTable accumulates Votes per link and resolves them into a Table.
+type VoteTable struct {
+	votes map[asrel.LinkKey]*Votes
+}
+
+// NewVoteTable returns an empty accumulator.
+func NewVoteTable() *VoteTable {
+	return &VoteTable{votes: make(map[asrel.LinkKey]*Votes)}
+}
+
+// Add registers a vote that a (toward b) has relationship r.
+func (t *VoteTable) Add(a, b asrel.ASN, r asrel.Rel) {
+	k := asrel.Key(a, b)
+	v := t.votes[k]
+	if v == nil {
+		v = &Votes{}
+		t.votes[k] = v
+	}
+	v.Add(k, a, r)
+}
+
+// Get returns the vote record for a link, or nil.
+func (t *VoteTable) Get(k asrel.LinkKey) *Votes { return t.votes[k] }
+
+// Keys returns every voted link in canonical ascending order.
+func (t *VoteTable) Keys() []asrel.LinkKey {
+	out := make([]asrel.LinkKey, 0, len(t.votes))
+	for k := range t.votes {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// Len returns the number of links with votes.
+func (t *VoteTable) Len() int { return len(t.votes) }
+
+// Resolve produces the final relationship table; links resolving to
+// Unknown are omitted.
+func (t *VoteTable) Resolve() *asrel.Table {
+	out := asrel.NewTable()
+	for k, v := range t.votes {
+		if r := v.Resolve(); r.Known() {
+			out.SetKey(k, r)
+		}
+	}
+	return out
+}
+
+// Score grades an inferred table against ground truth.
+type Score struct {
+	// Total is the number of links graded.
+	Total int
+	// Classified is how many of them the inference assigned any
+	// relationship.
+	Classified int
+	// Correct is how many classified links match the truth exactly.
+	Correct int
+	// PeerAsTransit / TransitAsPeer count the two confusion directions
+	// that matter for hybrid links.
+	PeerAsTransit int
+	TransitAsPeer int
+}
+
+// Coverage returns Classified/Total.
+func (s Score) Coverage() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Classified) / float64(s.Total)
+}
+
+// Accuracy returns Correct/Classified.
+func (s Score) Accuracy() float64 {
+	if s.Classified == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Classified)
+}
+
+// ScoreTable grades inferred against truth over the given links.
+func ScoreTable(inferred, truth *asrel.Table, links []asrel.LinkKey) Score {
+	var s Score
+	for _, k := range links {
+		want := truth.GetKey(k)
+		if !want.Known() {
+			continue
+		}
+		s.Total++
+		got := inferred.GetKey(k)
+		if !got.Known() {
+			continue
+		}
+		s.Classified++
+		if got == want {
+			s.Correct++
+			continue
+		}
+		if want == asrel.P2P && got.Transit() {
+			s.PeerAsTransit++
+		}
+		if want.Transit() && got == asrel.P2P {
+			s.TransitAsPeer++
+		}
+	}
+	return s
+}

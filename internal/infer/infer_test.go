@@ -1,0 +1,112 @@
+package infer
+
+import (
+	"testing"
+
+	"hybridrel/internal/asrel"
+)
+
+func TestVotesOrientation(t *testing.T) {
+	var v Votes
+	k := asrel.Key(1, 2)
+	v.Add(k, 1, asrel.P2C) // 1 provider of 2
+	v.Add(k, 2, asrel.C2P) // 2 customer of 1 — same fact
+	if v.P2C != 2 || v.C2P != 0 {
+		t.Errorf("votes = %+v, want P2C=2", v)
+	}
+	v.Add(k, 2, asrel.P2P)
+	if v.P2P != 1 || v.Total() != 3 || v.Transit() != 2 {
+		t.Errorf("votes = %+v", v)
+	}
+}
+
+func TestVotesResolve(t *testing.T) {
+	cases := []struct {
+		v    Votes
+		want asrel.Rel
+	}{
+		{Votes{}, asrel.Unknown},
+		{Votes{P2C: 3}, asrel.P2C},
+		{Votes{C2P: 2}, asrel.C2P},
+		{Votes{P2P: 5}, asrel.P2P},
+		{Votes{S2S: 4, P2C: 1}, asrel.S2S},
+		// Transit-vs-peer tie breaks toward transit.
+		{Votes{P2C: 2, P2P: 2}, asrel.P2C},
+		// Peer majority wins.
+		{Votes{P2C: 1, P2P: 3}, asrel.P2P},
+		// Directional transit conflict with peer evidence: peer.
+		{Votes{P2C: 2, C2P: 2, P2P: 1}, asrel.P2P},
+		// Pure directional conflict: unresolvable.
+		{Votes{P2C: 2, C2P: 2}, asrel.Unknown},
+	}
+	for i, c := range cases {
+		if got := c.v.Resolve(); got != c.want {
+			t.Errorf("case %d: Resolve(%+v) = %s, want %s", i, c.v, got, c.want)
+		}
+	}
+}
+
+func TestVoteTable(t *testing.T) {
+	vt := NewVoteTable()
+	vt.Add(1, 2, asrel.P2C)
+	vt.Add(2, 1, asrel.C2P)
+	vt.Add(3, 4, asrel.P2P)
+	vt.Add(5, 6, asrel.P2C)
+	vt.Add(5, 6, asrel.C2P) // conflict → dropped in Resolve
+	if vt.Len() != 3 {
+		t.Fatalf("Len = %d", vt.Len())
+	}
+	keys := vt.Keys()
+	if len(keys) != 3 || keys[0] != asrel.Key(1, 2) || keys[2] != asrel.Key(5, 6) {
+		t.Errorf("Keys = %v", keys)
+	}
+	tbl := vt.Resolve()
+	if tbl.Get(1, 2) != asrel.P2C || tbl.Get(3, 4) != asrel.P2P {
+		t.Error("Resolve lost clean votes")
+	}
+	if tbl.Has(5, 6) {
+		t.Error("conflicted link resolved")
+	}
+	if vt.Get(asrel.Key(1, 2)).P2C != 2 {
+		t.Error("Get returned wrong votes")
+	}
+	if vt.Get(asrel.Key(9, 9)) != nil {
+		t.Error("Get on absent link non-nil")
+	}
+}
+
+func TestScoreTable(t *testing.T) {
+	truth := asrel.NewTable()
+	truth.Set(1, 2, asrel.P2C)
+	truth.Set(3, 4, asrel.P2P)
+	truth.Set(5, 6, asrel.P2C)
+	truth.Set(7, 8, asrel.C2P)
+
+	inferred := asrel.NewTable()
+	inferred.Set(1, 2, asrel.P2C) // correct
+	inferred.Set(3, 4, asrel.P2C) // peer inferred as transit
+	inferred.Set(5, 6, asrel.P2P) // transit inferred as peer
+	// 7-8 unclassified
+
+	links := []asrel.LinkKey{
+		asrel.Key(1, 2), asrel.Key(3, 4), asrel.Key(5, 6), asrel.Key(7, 8),
+		asrel.Key(9, 10), // no truth: not counted
+	}
+	s := ScoreTable(inferred, truth, links)
+	if s.Total != 4 || s.Classified != 3 || s.Correct != 1 {
+		t.Errorf("score = %+v", s)
+	}
+	if s.PeerAsTransit != 1 || s.TransitAsPeer != 1 {
+		t.Errorf("confusions = %+v", s)
+	}
+	if s.Coverage() != 0.75 {
+		t.Errorf("coverage = %v", s.Coverage())
+	}
+	if s.Accuracy() != 1.0/3.0 {
+		t.Errorf("accuracy = %v", s.Accuracy())
+	}
+	empty := ScoreTable(inferred, asrel.NewTable(), links)
+	if empty.Coverage() != 0 || empty.Accuracy() != 0 {
+		t.Error("empty score division")
+	}
+}

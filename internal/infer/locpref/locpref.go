@@ -1,0 +1,147 @@
+// Package locpref implements the paper's second inference method: using
+// the Local Preference attribute, calibrated per vantage against the
+// communities-derived relationships (the "Rosetta stone"), to classify
+// the links between a vantage AS and its neighbors.
+//
+// LOCAL_PREF is non-transitive, so it only reveals the relationship of
+// the vantage's own import edge — but operators order it
+// customer > peer > provider with operator-specific values, so once a
+// handful of community-confirmed routes anchor a vantage's bands, the
+// remaining routes of that vantage classify their first-hop links.
+// Routes carrying a traffic-engineering community are excluded from both
+// calibration and application: their LocPrf was overridden.
+package locpref
+
+import (
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/community"
+	"hybridrel/internal/dataset"
+	"hybridrel/internal/infer"
+)
+
+// Config tunes the calibration.
+type Config struct {
+	// MinSupport is the number of community-confirmed routes a LocPrf
+	// value needs before it becomes a usable band. Values above 1 defend
+	// against LocPrf overrides whose TE community is undocumented (and
+	// therefore invisible to the filter): such values either fail to
+	// reach the support threshold or collect conflicting relationships
+	// and are discarded.
+	MinSupport int
+}
+
+// DefaultConfig uses a support threshold of two.
+func DefaultConfig() Config { return Config{MinSupport: 2} }
+
+// Result is the outcome of LocPrf inference.
+type Result struct {
+	// Table holds relationships newly inferred from LocPrf (links the
+	// base table did not cover).
+	Table *asrel.Table
+	// CalibratedVantages counts vantages with at least one usable
+	// LocPrf→relationship band.
+	CalibratedVantages int
+	// FilteredTE counts routes excluded because of a TE community.
+	FilteredTE int
+	// Applied counts routes that produced a vote on an uncovered link.
+	Applied int
+	// Conflicts counts calibration values discarded for mapping to
+	// multiple relationships.
+	Conflicts int
+
+	cfg Config
+}
+
+// Infer calibrates and applies LocPrf per vantage. base is the
+// communities-derived table used both as calibration anchor and to skip
+// already-covered links.
+func Infer(paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Table, cfg Config) *Result {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 2
+	}
+	res := &Result{cfg: cfg}
+	byVantage := make(map[asrel.ASN][]*dataset.PathObs)
+	var vantages []asrel.ASN
+	for _, p := range paths {
+		if !p.HasLocPrf || len(p.Path) < 2 {
+			continue
+		}
+		if _, ok := byVantage[p.Vantage]; !ok {
+			vantages = append(vantages, p.Vantage)
+		}
+		byVantage[p.Vantage] = append(byVantage[p.Vantage], p)
+	}
+
+	votes := infer.NewVoteTable()
+	for _, v := range vantages {
+		res.inferVantage(v, byVantage[v], dict, base, votes)
+	}
+	res.Table = votes.Resolve()
+	return res
+}
+
+func (res *Result) inferVantage(v asrel.ASN, paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Table, votes *infer.VoteTable) {
+	// Calibration: LocPrf value → relationship counts, from routes whose
+	// first-hop relationship the communities already established.
+	calib := make(map[uint32]map[asrel.Rel]int)
+	type application struct {
+		neighbor asrel.ASN
+		locPrf   uint32
+	}
+	var apply []application
+
+	for _, p := range paths {
+		if hasTE(p.Communities, dict) {
+			res.FilteredTE++
+			continue
+		}
+		neighbor := p.Path[1]
+		rel := base.Get(v, neighbor)
+		if rel.Known() {
+			m := calib[p.LocPrf]
+			if m == nil {
+				m = make(map[asrel.Rel]int)
+				calib[p.LocPrf] = m
+			}
+			m[rel]++
+			continue
+		}
+		apply = append(apply, application{neighbor: neighbor, locPrf: p.LocPrf})
+	}
+
+	// Keep only unambiguous, well-supported bands.
+	bands := make(map[uint32]asrel.Rel, len(calib))
+	for val, m := range calib {
+		if len(m) != 1 {
+			res.Conflicts++
+			continue
+		}
+		for rel, n := range m {
+			if n >= res.cfg.MinSupport {
+				bands[val] = rel
+			}
+		}
+	}
+	if len(bands) == 0 {
+		return
+	}
+	res.CalibratedVantages++
+	for _, a := range apply {
+		rel, ok := bands[a.locPrf]
+		if !ok {
+			continue
+		}
+		votes.Add(v, a.neighbor, rel)
+		res.Applied++
+	}
+}
+
+func hasTE(comms []bgp.Community, dict *community.Dictionary) bool {
+	for _, c := range comms {
+		if m, ok := dict.Lookup(c); ok && m == community.MeaningTE {
+			return true
+		}
+	}
+	return false
+}

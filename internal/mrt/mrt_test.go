@@ -1,0 +1,372 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridrel/internal/bgp"
+)
+
+var testTime = time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func testPeerTable() *PeerIndexTable {
+	return &PeerIndexTable{
+		CollectorID: CollectorAddr(1),
+		ViewName:    "rv-test",
+		Peers: []Peer{
+			{BGPID: netip.MustParseAddr("10.0.0.1"), Addr: netip.MustParseAddr("10.0.0.1"), ASN: 65001},
+			{BGPID: netip.MustParseAddr("10.0.0.2"), Addr: netip.MustParseAddr("2001:db8::2"), ASN: 196613},
+		},
+	}
+}
+
+func v4RIB(t *testing.T) *RIB {
+	t.Helper()
+	rib := &RIB{
+		Seq:    7,
+		Prefix: netip.MustParsePrefix("198.51.100.0/24"),
+	}
+	var e RIBEntry
+	e.PeerIndex = 0
+	e.OriginatedAt = testTime
+	e.Attrs.HasOrigin = true
+	e.Attrs.Origin = bgp.OriginIGP
+	e.Attrs.ASPath = bgp.Sequence(65001, 65010, 65020)
+	e.Attrs.NextHop = netip.MustParseAddr("10.0.0.1")
+	e.Attrs.Communities = []bgp.Community{bgp.MakeCommunity(65010, 100)}
+	rib.Entries = append(rib.Entries, e)
+	return rib
+}
+
+func v6RIB(t *testing.T) *RIB {
+	t.Helper()
+	rib := &RIB{
+		Seq:    8,
+		Prefix: netip.MustParsePrefix("2001:db8:100::/40"),
+	}
+	var e RIBEntry
+	e.PeerIndex = 1
+	e.OriginatedAt = testTime
+	e.Attrs.HasOrigin = true
+	e.Attrs.Origin = bgp.OriginIGP
+	e.Attrs.ASPath = bgp.Sequence(196613, 65010)
+	e.Attrs.HasLocalPref = true
+	e.Attrs.LocalPref = 300
+	e.Attrs.MPReach = &bgp.MPReach{
+		AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+		NextHop: []netip.Addr{netip.MustParseAddr("2001:db8::2")},
+	}
+	rib.Entries = append(rib.Entries, e)
+	return rib
+}
+
+func TestTableDumpV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(testTime, v4RIB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(testTime, v6RIB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesWritten() != int64(buf.Len()) {
+		t.Errorf("BytesWritten = %d, buffer has %d", w.BytesWritten(), buf.Len())
+	}
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+
+	pit, ok := recs[0].Message.(*PeerIndexTable)
+	if !ok {
+		t.Fatalf("record 0 is %T", recs[0].Message)
+	}
+	if pit.ViewName != "rv-test" || len(pit.Peers) != 2 {
+		t.Errorf("peer table = %+v", pit)
+	}
+	if pit.Peers[1].ASN != 196613 || !pit.Peers[1].Addr.Is6() {
+		t.Errorf("IPv6 4-byte peer mangled: %+v", pit.Peers[1])
+	}
+	if !recs[0].Timestamp.Equal(testTime) {
+		t.Errorf("timestamp = %v", recs[0].Timestamp)
+	}
+
+	rib4, ok := recs[1].Message.(*RIB)
+	if !ok || recs[1].Subtype != SubtypeRIBIPv4Unicast {
+		t.Fatalf("record 1: %T subtype %d", recs[1].Message, recs[1].Subtype)
+	}
+	if rib4.Prefix != netip.MustParsePrefix("198.51.100.0/24") || rib4.Seq != 7 {
+		t.Errorf("v4 RIB = %+v", rib4)
+	}
+	if got := rib4.Entries[0].Attrs.ASPath.String(); got != "65001 65010 65020" {
+		t.Errorf("v4 AS_PATH = %q", got)
+	}
+	if !rib4.Entries[0].OriginatedAt.Equal(testTime) {
+		t.Errorf("originated = %v", rib4.Entries[0].OriginatedAt)
+	}
+
+	rib6, ok := recs[2].Message.(*RIB)
+	if !ok || recs[2].Subtype != SubtypeRIBIPv6Unicast {
+		t.Fatalf("record 2: %T subtype %d", recs[2].Message, recs[2].Subtype)
+	}
+	e := rib6.Entries[0]
+	if e.PeerIndex != 1 || !e.Attrs.HasLocalPref || e.Attrs.LocalPref != 300 {
+		t.Errorf("v6 entry = %+v", e)
+	}
+	if e.Attrs.MPReach == nil || e.Attrs.MPReach.AFI != bgp.AFIIPv6 ||
+		e.Attrs.MPReach.NextHop[0] != netip.MustParseAddr("2001:db8::2") {
+		t.Errorf("v6 MP_REACH = %+v", e.Attrs.MPReach)
+	}
+}
+
+func TestWriterOrderEnforcement(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRIB(testTime, v4RIB(t)); err == nil {
+		t.Error("RIB before peer index accepted")
+	}
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err == nil {
+		t.Error("duplicate peer index accepted")
+	}
+	bad := v4RIB(t)
+	bad.Entries[0].PeerIndex = 9
+	if err := w.WriteRIB(testTime, bad); err == nil {
+		t.Error("out-of-range peer index accepted")
+	}
+}
+
+func TestBGP4MPRoundTrip(t *testing.T) {
+	upd := &bgp.Update{NLRI: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")}}
+	upd.Attrs.HasOrigin = true
+	upd.Attrs.Origin = bgp.OriginIGP
+	upd.Attrs.ASPath = bgp.Sequence(65001, 65002)
+	upd.Attrs.NextHop = netip.MustParseAddr("10.1.1.1")
+	wire, err := upd.Marshal(bgp.Options{ASN4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msg := &BGP4MPMessage{
+		PeerAS: 196613, LocalAS: 64512, Ifindex: 3, AS4: true,
+		PeerAddr:  netip.MustParseAddr("10.1.1.1"),
+		LocalAddr: netip.MustParseAddr("10.1.1.2"),
+		Data:      wire,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBGP4MP(testTime, msg); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := recs[0].Message.(*BGP4MPMessage)
+	if !ok {
+		t.Fatalf("record is %T", recs[0].Message)
+	}
+	if got.PeerAS != 196613 || got.LocalAS != 64512 || !got.AS4 || got.Ifindex != 3 {
+		t.Errorf("BGP4MP header = %+v", got)
+	}
+	if got.PeerAddr != msg.PeerAddr || got.LocalAddr != msg.LocalAddr {
+		t.Error("addresses mangled")
+	}
+	u, err := got.Update(bgp.Options{ASN4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Attrs.ASPath.String() != "65001 65002" || len(u.NLRI) != 1 {
+		t.Errorf("embedded update = %+v", u)
+	}
+}
+
+func TestBGP4MPTwoByteAndIPv6(t *testing.T) {
+	msg := &BGP4MPMessage{
+		PeerAS: 65001, LocalAS: 64512, AS4: false,
+		PeerAddr:  netip.MustParseAddr("2001:db8::1"),
+		LocalAddr: netip.MustParseAddr("2001:db8::2"),
+		Data:      []byte{1, 2, 3},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBGP4MP(testTime, msg); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recs[0].Message.(*BGP4MPMessage)
+	if got.AS4 || got.PeerAS != 65001 || got.AFI != bgp.AFIIPv6 {
+		t.Errorf("two-byte v6 BGP4MP = %+v", got)
+	}
+	if !bytes.Equal(got.Data, []byte{1, 2, 3}) {
+		t.Error("payload mangled")
+	}
+	// Four-byte ASN cannot be written in a two-byte record.
+	bad := &BGP4MPMessage{PeerAS: 196613, LocalAS: 1, AS4: false,
+		PeerAddr: netip.MustParseAddr("10.0.0.1"), LocalAddr: netip.MustParseAddr("10.0.0.2")}
+	if err := w.WriteBGP4MP(testTime, bad); err == nil {
+		t.Error("4-byte ASN accepted in 2-byte record")
+	}
+	// Mixed address families are rejected.
+	mixed := &BGP4MPMessage{PeerAS: 1, LocalAS: 2, AS4: true,
+		PeerAddr: netip.MustParseAddr("10.0.0.1"), LocalAddr: netip.MustParseAddr("2001:db8::2")}
+	if err := w.WriteBGP4MP(testTime, mixed); err == nil {
+		t.Error("mixed-family BGP4MP accepted")
+	}
+}
+
+func TestUnknownRecordTypesSurfaceRaw(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRaw(testTime, 99, 7, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := recs[0].Message.(RawMessage)
+	if !ok || !bytes.Equal(raw, []byte{0xAA, 0xBB}) {
+		t.Errorf("raw record = %T %v", recs[0].Message, recs[0].Message)
+	}
+	if recs[0].Type != 99 || recs[0].Subtype != 7 {
+		t.Error("raw header lost")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Truncated header: clean EOF only when zero bytes; partial header
+	// must error.
+	if _, err := ReadAll(strings.NewReader("\x00\x01")); err == nil {
+		t.Error("partial header accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRaw(testTime, 99, 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadAll(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Oversized declared length.
+	huge := make([]byte, headerLen)
+	huge[8] = 0xFF
+	huge[9] = 0xFF
+	huge[10] = 0xFF
+	huge[11] = 0xFF
+	if _, err := ReadAll(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized record length accepted")
+	}
+	// Empty archive is fine.
+	recs, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty archive: %v %v", recs, err)
+	}
+}
+
+func TestReaderStreamsManyRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		rib := v4RIB(t)
+		rib.Seq = uint32(i)
+		if err := w.WriteRIB(testTime.Add(time.Duration(i)*time.Second), rib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rib, ok := rec.Message.(*RIB); ok {
+			if rib.Seq != uint32(count-1) {
+				t.Fatalf("sequence out of order: %d at record %d", rib.Seq, count)
+			}
+		}
+		count++
+	}
+	if count != n+1 {
+		t.Errorf("streamed %d records, want %d", count, n+1)
+	}
+}
+
+func TestPeerIndexValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	bad := testPeerTable()
+	bad.CollectorID = netip.MustParseAddr("2001:db8::1")
+	if err := w.WritePeerIndexTable(testTime, bad); err == nil {
+		t.Error("IPv6 collector ID accepted")
+	}
+	bad2 := testPeerTable()
+	bad2.Peers[0].BGPID = netip.MustParseAddr("2001:db8::1")
+	if err := w.WritePeerIndexTable(testTime, bad2); err == nil {
+		t.Error("IPv6 BGP ID accepted")
+	}
+	bad3 := testPeerTable()
+	bad3.Peers[0].Addr = netip.Addr{}
+	if err := w.WritePeerIndexTable(testTime, bad3); err == nil {
+		t.Error("addressless peer accepted")
+	}
+}
+
+func TestTruncatedInteriorRecords(t *testing.T) {
+	// Build a valid archive, then corrupt the interior of the RIB record
+	// while keeping the MRT length intact: decode must error, not panic.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(testTime, v6RIB(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := headerLen; i < len(raw); i += 3 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xFF
+		_, err := ReadAll(bytes.NewReader(mut))
+		_ = err // any outcome but a panic is acceptable
+	}
+	if _, err := ReadAll(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine archive failed: %v", err)
+	}
+	// ErrTruncated surfaces wrapped through record decoding.
+	pitOnly := raw[:headerLen+4] // cut inside the peer index body
+	// Fix the declared length so the reader passes it to the decoder.
+	binary := pitOnly[8:12]
+	binary[0], binary[1], binary[2], binary[3] = 0, 0, 0, 4
+	_, err := ReadAll(bytes.NewReader(pitOnly))
+	if err == nil || !errors.Is(err, bgp.ErrTruncated) {
+		t.Errorf("interior truncation error = %v, want ErrTruncated", err)
+	}
+}

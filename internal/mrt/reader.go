@@ -1,0 +1,78 @@
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Reader streams MRT records from an archive. It buffers the underlying
+// reader itself; callers hand it a plain io.Reader (a file, a bytes
+// buffer, a network stream).
+type Reader struct {
+	r      *bufio.Reader
+	hdr    [headerLen]byte
+	body   []byte // scratch, grown as needed
+	offset int64  // bytes consumed, for error context
+}
+
+// NewReader returns a streaming MRT reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next record. It returns io.EOF cleanly at the end of
+// the archive; any other error indicates a malformed record, annotated
+// with the byte offset of the record header.
+func (r *Reader) Next() (*Record, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mrt: offset %d: header: %w", r.offset, err)
+	}
+	ts := binary.BigEndian.Uint32(r.hdr[0:4])
+	typ := binary.BigEndian.Uint16(r.hdr[4:6])
+	sub := binary.BigEndian.Uint16(r.hdr[6:8])
+	length := binary.BigEndian.Uint32(r.hdr[8:12])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("mrt: offset %d: record length %d exceeds %d", r.offset, length, maxRecordLen)
+	}
+	if cap(r.body) < int(length) {
+		r.body = make([]byte, length)
+	}
+	body := r.body[:length]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: offset %d: body of %d bytes: %w", r.offset, length, err)
+	}
+	msg, err := decodeRecord(typ, sub, body)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: offset %d: type %d subtype %d: %w", r.offset, typ, sub, err)
+	}
+	r.offset += int64(headerLen) + int64(length)
+	return &Record{
+		Timestamp: time.Unix(int64(ts), 0).UTC(),
+		Type:      typ,
+		Subtype:   sub,
+		Message:   msg,
+	}, nil
+}
+
+// ReadAll drains the reader, returning every record. Intended for tests
+// and small archives; the analysis pipeline streams with Next.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	mr := NewReader(r)
+	var out []*Record
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,185 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"hybridrel/internal/bgp"
+)
+
+// Writer serializes MRT records. Records are written in the order the
+// methods are called; a TABLE_DUMP_V2 archive must start with the peer
+// index table, which WriteRIB enforces.
+type Writer struct {
+	w            io.Writer
+	wroteIndex   bool
+	numPeers     int
+	writtenBytes int64
+}
+
+// NewWriter returns an MRT writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// BytesWritten returns the total bytes emitted so far.
+func (w *Writer) BytesWritten() int64 { return w.writtenBytes }
+
+func (w *Writer) writeRecord(ts time.Time, typ, sub uint16, body []byte) error {
+	if len(body) > maxRecordLen {
+		return fmt.Errorf("mrt: record of %d bytes exceeds maximum", len(body))
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], sub)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mrt: write header: %w", err)
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return fmt.Errorf("mrt: write body: %w", err)
+	}
+	w.writtenBytes += int64(headerLen) + int64(len(body))
+	return nil
+}
+
+// WritePeerIndexTable emits the PEER_INDEX_TABLE record that must lead a
+// TABLE_DUMP_V2 archive. All peers are encoded with four-byte ASNs.
+func (w *Writer) WritePeerIndexTable(ts time.Time, t *PeerIndexTable) error {
+	if w.wroteIndex {
+		return fmt.Errorf("mrt: peer index table already written")
+	}
+	if !t.CollectorID.Is4() {
+		return fmt.Errorf("mrt: collector ID must be IPv4, got %v", t.CollectorID)
+	}
+	if len(t.ViewName) > 0xFFFF || len(t.Peers) > 0xFFFF {
+		return fmt.Errorf("mrt: peer index table too large")
+	}
+	body := make([]byte, 0, 8+len(t.ViewName)+len(t.Peers)*24)
+	cid := t.CollectorID.As4()
+	body = append(body, cid[:]...)
+	body = append(body, byte(len(t.ViewName)>>8), byte(len(t.ViewName)))
+	body = append(body, t.ViewName...)
+	body = append(body, byte(len(t.Peers)>>8), byte(len(t.Peers)))
+	for i, p := range t.Peers {
+		ptype := byte(0x02) // always 4-byte AS
+		if !p.Addr.IsValid() {
+			return fmt.Errorf("mrt: peer %d has no address", i)
+		}
+		if p.Addr.Is6() {
+			ptype |= 0x01
+		}
+		body = append(body, ptype)
+		if !p.BGPID.Is4() {
+			return fmt.Errorf("mrt: peer %d BGP ID must be IPv4", i)
+		}
+		id := p.BGPID.As4()
+		body = append(body, id[:]...)
+		body = append(body, p.Addr.AsSlice()...)
+		var asn [4]byte
+		binary.BigEndian.PutUint32(asn[:], uint32(p.ASN))
+		body = append(body, asn[:]...)
+	}
+	if err := w.writeRecord(ts, TypeTableDumpV2, SubtypePeerIndexTable, body); err != nil {
+		return err
+	}
+	w.wroteIndex = true
+	w.numPeers = len(t.Peers)
+	return nil
+}
+
+// WriteRIB emits one TABLE_DUMP_V2 RIB record; the subtype is chosen
+// from the prefix family. The peer index table must have been written
+// first and every entry's PeerIndex must be in range.
+func (w *Writer) WriteRIB(ts time.Time, rib *RIB) error {
+	if !w.wroteIndex {
+		return fmt.Errorf("mrt: RIB record before peer index table")
+	}
+	if !rib.Prefix.IsValid() {
+		return fmt.Errorf("mrt: RIB record with invalid prefix")
+	}
+	if len(rib.Entries) > 0xFFFF {
+		return fmt.Errorf("mrt: RIB record with %d entries", len(rib.Entries))
+	}
+	sub := uint16(SubtypeRIBIPv4Unicast)
+	if rib.Prefix.Addr().Is6() {
+		sub = SubtypeRIBIPv6Unicast
+	}
+	body := make([]byte, 4, 64)
+	binary.BigEndian.PutUint32(body, rib.Seq)
+	var err error
+	body, err = bgp.AppendPrefix(body, rib.Prefix)
+	if err != nil {
+		return fmt.Errorf("mrt: RIB prefix: %w", err)
+	}
+	body = append(body, byte(len(rib.Entries)>>8), byte(len(rib.Entries)))
+	for i := range rib.Entries {
+		e := &rib.Entries[i]
+		if int(e.PeerIndex) >= w.numPeers {
+			return fmt.Errorf("mrt: RIB entry %d references peer %d of %d", i, e.PeerIndex, w.numPeers)
+		}
+		attrs, err := e.Attrs.Marshal(ribAttrOptions)
+		if err != nil {
+			return fmt.Errorf("mrt: RIB entry %d attributes: %w", i, err)
+		}
+		if len(attrs) > 0xFFFF {
+			return fmt.Errorf("mrt: RIB entry %d attributes too long", i)
+		}
+		var hdr [8]byte
+		binary.BigEndian.PutUint16(hdr[0:2], e.PeerIndex)
+		binary.BigEndian.PutUint32(hdr[2:6], uint32(e.OriginatedAt.Unix()))
+		binary.BigEndian.PutUint16(hdr[6:8], uint16(len(attrs)))
+		body = append(body, hdr[:]...)
+		body = append(body, attrs...)
+	}
+	return w.writeRecord(ts, TypeTableDumpV2, sub, body)
+}
+
+// WriteBGP4MP emits a BGP4MP_MESSAGE(_AS4) record wrapping msg.Data.
+func (w *Writer) WriteBGP4MP(ts time.Time, m *BGP4MPMessage) error {
+	if m.PeerAddr.Is4() != m.LocalAddr.Is4() {
+		return fmt.Errorf("mrt: BGP4MP peer/local address family mismatch")
+	}
+	sub := uint16(SubtypeMessage)
+	if m.AS4 {
+		sub = SubtypeMessageAS4
+	}
+	var body []byte
+	if m.AS4 {
+		var asns [8]byte
+		binary.BigEndian.PutUint32(asns[0:4], uint32(m.PeerAS))
+		binary.BigEndian.PutUint32(asns[4:8], uint32(m.LocalAS))
+		body = append(body, asns[:]...)
+	} else {
+		if m.PeerAS > 0xFFFF || m.LocalAS > 0xFFFF {
+			return fmt.Errorf("mrt: four-byte ASN in two-byte BGP4MP record")
+		}
+		body = append(body,
+			byte(m.PeerAS>>8), byte(m.PeerAS),
+			byte(m.LocalAS>>8), byte(m.LocalAS))
+	}
+	afi := uint16(bgp.AFIIPv4)
+	if m.PeerAddr.Is6() {
+		afi = bgp.AFIIPv6
+	}
+	body = append(body, byte(m.Ifindex>>8), byte(m.Ifindex), byte(afi>>8), byte(afi))
+	body = append(body, m.PeerAddr.AsSlice()...)
+	body = append(body, m.LocalAddr.AsSlice()...)
+	body = append(body, m.Data...)
+	return w.writeRecord(ts, TypeBGP4MP, sub, body)
+}
+
+// WriteRaw emits an arbitrary record verbatim, for tests and for
+// forwarding unknown record types.
+func (w *Writer) WriteRaw(ts time.Time, typ, sub uint16, body []byte) error {
+	return w.writeRecord(ts, typ, sub, body)
+}
+
+// CollectorAddr is a convenience for building collector IDs in tests and
+// generators: it maps a small integer to a 192.0.2.x documentation
+// address.
+func CollectorAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", 42)
+	tb.Row("beta-longer", 3.14159)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "## demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "42") {
+		t.Errorf("row content lost: %q", lines[3])
+	}
+	// Floats render with two decimals.
+	if !strings.Contains(lines[4], "3.14") {
+		t.Errorf("float formatting: %q", lines[4])
+	}
+	// Columns align: the header and rows share the first column width.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "42")
+	if hdrIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d", hdrIdx, rowIdx)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Row(1)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "##") {
+		t.Error("unexpected title")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"x", "y"}, [][]float64{{0, 1.5}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n0,1.5\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.135) != "13.5%" {
+		t.Errorf("Pct = %q", Pct(0.135))
+	}
+}
+
+func TestRowF(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.RowF("%d\t%s", 7, "x")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7") || !strings.Contains(buf.String(), "x") {
+		t.Errorf("RowF lost cells: %q", buf.String())
+	}
+}

@@ -1,0 +1,166 @@
+// Package rpsl reads and writes the subset of the Routing Policy
+// Specification Language (RFC 2622) object format that the paper's
+// methodology needs: aut-num objects whose remarks document the
+// operator's BGP community scheme. The parser is deliberately tolerant —
+// real IRR data is messy — and skips malformed objects rather than
+// failing the whole database.
+package rpsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hybridrel/internal/asrel"
+)
+
+// AutNum is one aut-num object. Only the attributes relevant to
+// community mining are modeled; unknown attributes are preserved
+// nowhere (the miner does not need them).
+type AutNum struct {
+	ASN     asrel.ASN
+	Name    string
+	Descr   string
+	Remarks []string
+	Source  string
+}
+
+// Parse reads an IRR dump, returning every well-formed aut-num object
+// and the count of objects skipped as malformed or of other classes.
+// Objects are separated by blank lines; attribute values may continue
+// on lines starting with whitespace or '+'.
+func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	var (
+		cur      *AutNum
+		lastAttr string
+		bad      bool
+	)
+	flush := func() {
+		if cur == nil {
+			if bad {
+				skipped++
+			}
+		} else if bad {
+			skipped++
+		} else {
+			objs = append(objs, *cur)
+		}
+		cur, lastAttr, bad = nil, "", false
+	}
+	appendValue := func(attr, value string) {
+		if cur == nil {
+			return
+		}
+		switch attr {
+		case "as-name":
+			cur.Name = value
+		case "descr":
+			if cur.Descr != "" {
+				cur.Descr += " "
+			}
+			cur.Descr += value
+		case "remarks":
+			cur.Remarks = append(cur.Remarks, value)
+		case "source":
+			cur.Source = value
+		}
+	}
+
+	started := false
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimRight(line, " \t")
+		if trimmed == "" {
+			if started {
+				flush()
+				started = false
+			}
+			continue
+		}
+		started = true
+		// Continuation line.
+		if line[0] == ' ' || line[0] == '\t' || line[0] == '+' {
+			if lastAttr == "remarks" && cur != nil && len(cur.Remarks) > 0 {
+				cur.Remarks[len(cur.Remarks)-1] += " " + strings.TrimSpace(strings.TrimPrefix(line, "+"))
+			} else if lastAttr != "" {
+				appendValue(lastAttr, strings.TrimSpace(strings.TrimPrefix(line, "+")))
+			}
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			bad = true
+			continue
+		}
+		attr := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		lastAttr = attr
+		if attr == "aut-num" {
+			if cur != nil {
+				// Two aut-num attributes in one object: malformed.
+				bad = true
+				continue
+			}
+			asn, perr := parseASN(value)
+			if perr != nil {
+				bad = true
+				continue
+			}
+			cur = &AutNum{ASN: asn}
+			continue
+		}
+		appendValue(attr, value)
+	}
+	if serr := sc.Err(); serr != nil {
+		return objs, skipped, fmt.Errorf("rpsl: read: %w", serr)
+	}
+	if started {
+		flush()
+	}
+	return objs, skipped, nil
+}
+
+func parseASN(s string) (asrel.ASN, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	if !strings.HasPrefix(upper, "AS") {
+		return 0, fmt.Errorf("rpsl: %q is not an AS number", s)
+	}
+	n, err := strconv.ParseUint(upper[2:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("rpsl: bad AS number %q: %v", s, err)
+	}
+	return asrel.ASN(n), nil
+}
+
+// Write serializes objects in standard attribute order, separated by
+// blank lines.
+func Write(w io.Writer, objs []AutNum) error {
+	bw := bufio.NewWriter(w)
+	for i := range objs {
+		o := &objs[i]
+		fmt.Fprintf(bw, "aut-num:        AS%d\n", uint32(o.ASN))
+		if o.Name != "" {
+			fmt.Fprintf(bw, "as-name:        %s\n", o.Name)
+		}
+		if o.Descr != "" {
+			fmt.Fprintf(bw, "descr:          %s\n", o.Descr)
+		}
+		for _, r := range o.Remarks {
+			fmt.Fprintf(bw, "remarks:        %s\n", r)
+		}
+		if o.Source != "" {
+			fmt.Fprintf(bw, "source:         %s\n", o.Source)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rpsl: write: %w", err)
+	}
+	return nil
+}

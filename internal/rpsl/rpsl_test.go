@@ -1,0 +1,123 @@
+package rpsl
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `aut-num:        AS65001
+as-name:        TEST-AS
+descr:          A test
+remarks:        65001:100 customer routes
+remarks:        65001:200 peer routes
+source:         TESTIRR
+
+aut-num: as65002
+descr:   second
+         object continues here
+source:  TESTIRR
+`
+	objs, skipped, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	a := objs[0]
+	if a.ASN != 65001 || a.Name != "TEST-AS" || a.Descr != "A test" || a.Source != "TESTIRR" {
+		t.Errorf("object 0 = %+v", a)
+	}
+	if len(a.Remarks) != 2 || a.Remarks[0] != "65001:100 customer routes" {
+		t.Errorf("remarks = %v", a.Remarks)
+	}
+	b := objs[1]
+	if b.ASN != 65002 {
+		t.Errorf("lower-case aut-num not parsed: %+v", b)
+	}
+	if b.Descr != "second object continues here" {
+		t.Errorf("continuation lost: %q", b.Descr)
+	}
+}
+
+func TestParseContinuedRemark(t *testing.T) {
+	src := "aut-num: AS7\nremarks: 7:100 routes learned\n+ from customers\n\n"
+	objs, _, err := Parse(strings.NewReader(src))
+	if err != nil || len(objs) != 1 {
+		t.Fatal(err, objs)
+	}
+	if objs[0].Remarks[0] != "7:100 routes learned from customers" {
+		t.Errorf("remark = %q", objs[0].Remarks[0])
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	src := `aut-num: ASnotanumber
+descr: broken
+
+person: Someone
+address: nowhere
+
+aut-num: AS5
+aut-num: AS6
+
+aut-num: AS9
+source: OK
+`
+	objs, skipped, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].ASN != 9 {
+		t.Fatalf("objects = %+v", objs)
+	}
+	// Bad ASN and double aut-num are skipped; the person object is not
+	// an aut-num and is silently ignored (no aut-num attribute at all).
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+}
+
+func TestParseNoTrailingBlank(t *testing.T) {
+	objs, _, err := Parse(strings.NewReader("aut-num: AS3\nsource: X"))
+	if err != nil || len(objs) != 1 || objs[0].ASN != 3 {
+		t.Fatalf("final object lost: %v %v", objs, err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	in := []AutNum{
+		{ASN: 65001, Name: "A", Descr: "first", Remarks: []string{"65001:1 customer routes", "note"}, Source: "S"},
+		{ASN: 4200000000, Name: "B", Descr: "four byte", Source: "S"},
+		{ASN: 7},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, skipped, err := Parse(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatal(err, skipped)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseLineWithoutColon(t *testing.T) {
+	src := "aut-num: AS3\ngarbage line here\nsource: X\n\n"
+	objs, skipped, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stray line marks the object malformed.
+	if len(objs) != 0 || skipped != 1 {
+		t.Errorf("objs=%v skipped=%d", objs, skipped)
+	}
+}

@@ -1,0 +1,229 @@
+// Package stats provides the small numerical helpers used by the
+// analysis and reporting layers: means, quantiles, histograms and
+// cumulative distributions over integer or float samples.
+//
+// All functions treat their input as a sample set; none of them mutate
+// the caller's slice (sorting is done on an internal copy).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInt returns the arithmetic mean of integer samples.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += int64(x)
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MaxInt returns the maximum of xs, or 0 for an empty sample.
+func MaxInt(xs []int) int {
+	max := 0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// MinInt returns the minimum of xs, or 0 for an empty sample.
+func MinInt(xs []int) int {
+	min := 0
+	for i, x := range xs {
+		if i == 0 || x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Ratio returns num/den as a float, or 0 when den is zero. It exists so
+// that report code never divides by zero on degenerate datasets.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Percent returns 100*num/den, guarding against a zero denominator.
+func Percent(num, den int) float64 { return 100 * Ratio(num, den) }
+
+// Histogram is a fixed-bucket integer histogram. Buckets are
+// [0,1), [1,2), ... with one overflow bucket at the top.
+type Histogram struct {
+	buckets  []int
+	overflow int
+	count    int
+	sum      int64
+}
+
+// NewHistogram returns a histogram with n unit-width buckets starting at
+// zero. Values ≥ n are counted in the overflow bucket.
+func NewHistogram(n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{buckets: make([]int, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int) {
+	h.count++
+	h.sum += int64(v)
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[v]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return h.count }
+
+// Mean returns the mean of the recorded samples (using their exact
+// values, not bucket midpoints).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count of samples with value v (v inside the bucket
+// range), or the overflow count if v is past the last bucket.
+func (h *Histogram) Bucket(v int) int {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		return h.overflow
+	}
+	return h.buckets[v]
+}
+
+// CDF returns the fraction of samples with value ≤ v.
+func (h *Histogram) CDF(v int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if v < 0 {
+		return 0
+	}
+	c := 0
+	for i := 0; i <= v && i < len(h.buckets); i++ {
+		c += h.buckets[i]
+	}
+	if v >= len(h.buckets) {
+		c += h.overflow
+	}
+	return float64(c) / float64(h.count)
+}
+
+// String summarizes the histogram for debug output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram{n=%d mean=%.2f overflow=%d}", h.count, h.Mean(), h.overflow)
+}
+
+// Counter accumulates named integer tallies with deterministic ordering
+// helpers, used by report tables.
+type Counter struct {
+	m map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int)} }
+
+// Add increments the tally for key by delta.
+func (c *Counter) Add(key string, delta int) { c.m[key] += delta }
+
+// Get returns the tally for key (0 when absent).
+func (c *Counter) Get(key string) int { return c.m[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() int {
+	t := 0
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// Keys returns all keys in sorted order.
+func (c *Counter) Keys() []string {
+	ks := make([]string, 0, len(c.m))
+	for k := range c.m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

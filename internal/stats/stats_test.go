@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean of 1..4 wrong")
+	}
+	if MeanInt(nil) != 0 {
+		t.Error("MeanInt(nil) != 0")
+	}
+	if !almostEqual(MeanInt([]int{2, 4}), 3) {
+		t.Error("MeanInt of {2,4} wrong")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Error("variance of single sample must be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Variance(xs), 4) {
+		t.Errorf("Variance = %v, want 4", Variance(xs))
+	}
+	if !almostEqual(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	if !almostEqual(Median([]float64{1, 3}), 2) {
+		t.Error("Median interpolation wrong")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(raw, qa) <= Quantile(raw, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	if MaxInt(nil) != 0 || MinInt(nil) != 0 {
+		t.Error("empty min/max must be 0")
+	}
+	if MaxInt([]int{-5, -2, -9}) != -2 {
+		t.Error("MaxInt with negatives wrong")
+	}
+	if MinInt([]int{3, 1, 2}) != 1 {
+		t.Error("MinInt wrong")
+	}
+}
+
+func TestRatioPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 || Percent(1, 0) != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+	if !almostEqual(Percent(13, 100), 13) {
+		t.Error("Percent wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if h.Bucket(1) != 2 {
+		t.Errorf("Bucket(1) = %d, want 2", h.Bucket(1))
+	}
+	// -3 clamps into bucket 0 for bucketing purposes.
+	if h.Bucket(0) != 2 {
+		t.Errorf("Bucket(0) = %d, want 2", h.Bucket(0))
+	}
+	if h.Bucket(9) != 1 { // overflow bucket
+		t.Errorf("overflow = %d, want 1", h.Bucket(9))
+	}
+	// Mean uses exact values: (0+1+1+2+9-3)/6 = 10/6.
+	if !almostEqual(h.Mean(), 10.0/6.0) {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if !almostEqual(h.CDF(3), 5.0/6.0) {
+		t.Errorf("CDF(3) = %v", h.CDF(3))
+	}
+	if !almostEqual(h.CDF(100), 1) {
+		t.Errorf("CDF(100) = %v, want 1", h.CDF(100))
+	}
+	if h.CDF(-1) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramEmptyAndTiny(t *testing.T) {
+	h := NewHistogram(0) // clamps to one bucket
+	if h.CDF(0) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(5)
+	if h.Bucket(5) != 1 {
+		t.Error("single-bucket overflow broken")
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(16)
+		for _, v := range vals {
+			h.Observe(int(v) % 24)
+		}
+		prev := 0.0
+		for v := 0; v < 30; v++ {
+			c := h.CDF(v)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return len(vals) == 0 || almostEqual(prev, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("zzz") != 0 {
+		t.Error("counter tallies wrong")
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d, want 6", c.Total())
+	}
+	ks := c.Keys()
+	if len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
+		t.Errorf("Keys = %v, want sorted [a b]", ks)
+	}
+}

@@ -1,0 +1,80 @@
+// Package testutil assembles a complete observed world — generated
+// Internet, in-memory MRT collection, ingested datasets, and mined IRR
+// dictionary — for use by package tests and benchmarks. It deliberately
+// goes through the same byte-level MRT/RPSL round trip as the production
+// pipeline so tests exercise the real ingestion path.
+package testutil
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/collector"
+	"hybridrel/internal/community"
+	"hybridrel/internal/dataset"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/rpsl"
+)
+
+// DumpTime is the fixed timestamp of all synthetic archives.
+var DumpTime = time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// World is a fully-assembled observed world.
+type World struct {
+	In   *gen.Internet
+	D4   *dataset.Dataset
+	D6   *dataset.Dataset
+	Dict *community.Dictionary
+}
+
+// BuildWorld generates an Internet from cfg and runs the in-memory
+// collection pipeline for both planes.
+func BuildWorld(cfg gen.Config) (*World, error) {
+	in, err := gen.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleWorld(in, 2)
+}
+
+// AssembleWorld runs collection and ingestion over an existing Internet
+// with the given number of collectors.
+func AssembleWorld(in *gen.Internet, collectors int) (*World, error) {
+	w := &World{In: in}
+	cols := collector.Assign(in, collectors)
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		bufs := make([]*bytes.Buffer, len(cols))
+		ws := make([]io.Writer, len(cols))
+		for i := range bufs {
+			bufs[i] = &bytes.Buffer{}
+			ws[i] = bufs[i]
+		}
+		if err := collector.DumpAll(in, af, cols, ws, DumpTime); err != nil {
+			return nil, fmt.Errorf("testutil: dump %s: %w", af, err)
+		}
+		d := dataset.New(af)
+		for _, b := range bufs {
+			if err := d.AddMRT(bytes.NewReader(b.Bytes())); err != nil {
+				return nil, fmt.Errorf("testutil: ingest %s: %w", af, err)
+			}
+		}
+		if af == asrel.IPv6 {
+			w.D6 = d
+		} else {
+			w.D4 = d
+		}
+	}
+	var irr bytes.Buffer
+	if err := in.WriteIRR(&irr); err != nil {
+		return nil, err
+	}
+	objs, _, err := rpsl.Parse(&irr)
+	if err != nil {
+		return nil, err
+	}
+	w.Dict = community.FromIRR(objs)
+	return w, nil
+}

@@ -1,0 +1,281 @@
+// Package topology provides the AS-level graph substrate: an undirected
+// multigraph of AS adjacencies with relationship-aware operations —
+// degrees per role, customer cones, plain BFS, connected components, and
+// shortest *valley-free* path computations on a two-state product graph.
+//
+// A Graph holds only adjacency; relationships live in an asrel.Table so
+// the same physical topology can be annotated differently per address
+// family or per inference algorithm, which is exactly what the hybrid
+// relationship analysis needs.
+package topology
+
+import (
+	"sort"
+
+	"hybridrel/internal/asrel"
+)
+
+// Graph is an undirected AS-level topology. The zero value is not usable;
+// construct with New. Graphs may be mutated with AddLink at any time;
+// heavy query methods freeze an internal index lazily and invalidate it
+// on mutation.
+type Graph struct {
+	adj   map[asrel.ASN][]asrel.ASN
+	links map[asrel.LinkKey]struct{}
+	csr   *csr // lazily built; nil when dirty
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj:   make(map[asrel.ASN][]asrel.ASN),
+		links: make(map[asrel.LinkKey]struct{}),
+	}
+}
+
+// AddLink inserts the undirected link {a, b}. Self-links and duplicates
+// are ignored. It reports whether the link was newly added.
+func (g *Graph) AddLink(a, b asrel.ASN) bool {
+	if a == b {
+		return false
+	}
+	k := asrel.Key(a, b)
+	if _, dup := g.links[k]; dup {
+		return false
+	}
+	g.links[k] = struct{}{}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.csr = nil
+	return true
+}
+
+// AddNode ensures the AS exists in the graph even if isolated.
+func (g *Graph) AddNode(a asrel.ASN) {
+	if _, ok := g.adj[a]; !ok {
+		g.adj[a] = nil
+		g.csr = nil
+	}
+}
+
+// HasLink reports whether the undirected link {a, b} exists.
+func (g *Graph) HasLink(a, b asrel.ASN) bool {
+	_, ok := g.links[asrel.Key(a, b)]
+	return ok
+}
+
+// HasNode reports whether the AS is present.
+func (g *Graph) HasNode(a asrel.ASN) bool {
+	_, ok := g.adj[a]
+	return ok
+}
+
+// NumNodes returns the number of ASes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumLinks returns the number of undirected links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Nodes returns all ASes in ascending ASN order.
+func (g *Graph) Nodes() []asrel.ASN {
+	out := make([]asrel.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LinkKeys returns all links in canonical ascending order.
+func (g *Graph) LinkKeys() []asrel.LinkKey {
+	out := make([]asrel.LinkKey, 0, len(g.links))
+	for k := range g.links {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// Neighbors returns the adjacency list of a in insertion order. The
+// returned slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(a asrel.ASN) []asrel.ASN { return g.adj[a] }
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a asrel.ASN) int { return len(g.adj[a]) }
+
+// Customers returns the neighbors of a annotated as customers of a in t.
+func (g *Graph) Customers(t *asrel.Table, a asrel.ASN) []asrel.ASN {
+	return g.withRel(t, a, asrel.P2C)
+}
+
+// Providers returns the neighbors of a annotated as providers of a in t.
+func (g *Graph) Providers(t *asrel.Table, a asrel.ASN) []asrel.ASN {
+	return g.withRel(t, a, asrel.C2P)
+}
+
+// Peers returns the neighbors of a annotated as peers of a in t.
+func (g *Graph) Peers(t *asrel.Table, a asrel.ASN) []asrel.ASN {
+	return g.withRel(t, a, asrel.P2P)
+}
+
+func (g *Graph) withRel(t *asrel.Table, a asrel.ASN, want asrel.Rel) []asrel.ASN {
+	var out []asrel.ASN
+	for _, n := range g.adj[a] {
+		if t.Get(a, n) == want {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CustomerDegree returns the number of customer links of a under t.
+func (g *Graph) CustomerDegree(t *asrel.Table, a asrel.ASN) int {
+	return g.countRel(t, a, asrel.P2C)
+}
+
+// ProviderDegree returns the number of provider links of a under t.
+func (g *Graph) ProviderDegree(t *asrel.Table, a asrel.ASN) int {
+	return g.countRel(t, a, asrel.C2P)
+}
+
+// PeerDegree returns the number of peering links of a under t.
+func (g *Graph) PeerDegree(t *asrel.Table, a asrel.ASN) int {
+	return g.countRel(t, a, asrel.P2P)
+}
+
+func (g *Graph) countRel(t *asrel.Table, a asrel.ASN, want asrel.Rel) int {
+	n := 0
+	for _, nb := range g.adj[a] {
+		if t.Get(a, nb) == want {
+			n++
+		}
+	}
+	return n
+}
+
+// CustomerCone returns the set of ASes reachable from root by repeatedly
+// descending p2c links (the "customer tree" of the paper's Figure 1),
+// excluding the root itself.
+func (g *Graph) CustomerCone(t *asrel.Table, root asrel.ASN) map[asrel.ASN]bool {
+	cone := make(map[asrel.ASN]bool)
+	stack := []asrel.ASN{root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if t.Get(u, v) == asrel.P2C && !cone[v] && v != root {
+				cone[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return cone
+}
+
+// Tier is a coarse position of an AS in the customer-provider hierarchy.
+type Tier uint8
+
+// Tier values, from the top of the hierarchy down.
+const (
+	// TierUnknown: the AS has no classified transit links at all.
+	TierUnknown Tier = iota
+	// Tier1: transit-free — customers but no providers.
+	Tier1
+	// Tier2: both providers and customers (a transit network).
+	Tier2
+	// TierStub: providers or peers only, no customers.
+	TierStub
+)
+
+// String names the tier as used in reports.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier-1"
+	case Tier2:
+		return "tier-2"
+	case TierStub:
+		return "stub"
+	default:
+		return "unclassified"
+	}
+}
+
+// TierOf classifies a single AS under the relationship table t.
+func (g *Graph) TierOf(t *asrel.Table, a asrel.ASN) Tier {
+	cust := g.CustomerDegree(t, a)
+	prov := g.ProviderDegree(t, a)
+	peer := g.PeerDegree(t, a)
+	switch {
+	case cust > 0 && prov == 0:
+		return Tier1
+	case cust > 0:
+		return Tier2
+	case prov > 0 || peer > 0:
+		return TierStub
+	default:
+		return TierUnknown
+	}
+}
+
+// Components returns the connected components of the graph, each sorted
+// by ASN, largest component first (ties broken by smallest member).
+func (g *Graph) Components() [][]asrel.ASN {
+	seen := make(map[asrel.ASN]bool, len(g.adj))
+	var comps [][]asrel.ASN
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []asrel.ASN
+		queue := []asrel.ASN{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// BFSDist returns hop distances from src to every reachable AS ignoring
+// relationship annotations.
+func (g *Graph) BFSDist(src asrel.ASN) map[asrel.ASN]int {
+	dist := map[asrel.ASN]int{}
+	if !g.HasNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []asrel.ASN{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
