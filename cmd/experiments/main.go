@@ -8,24 +8,25 @@
 //
 // Usage:
 //
-//	experiments [-scale small|default] [-seed N] [-top N] [-exact]
+//	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
+	"hybridrel"
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
-	"hybridrel/internal/gen"
 	"hybridrel/internal/infer"
 	"hybridrel/internal/infer/gao"
 	"hybridrel/internal/infer/rank"
 	"hybridrel/internal/report"
-	"hybridrel/internal/testutil"
 	"hybridrel/internal/topology"
 )
 
@@ -33,30 +34,46 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		scale = flag.String("scale", "default", "world scale: small | default")
-		seed  = flag.Int64("seed", 42, "generator seed")
-		topN  = flag.Int("top", 20, "corrections in the Figure-2 sweep")
-		full  = flag.Bool("full-sweep", false, "also sweep every detected hybrid")
+		scale    = flag.String("scale", "default", "world scale: small | default")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		topN     = flag.Int("top", 20, "corrections in the Figure-2 sweep")
+		full     = flag.Bool("full-sweep", false, "also sweep every detected hybrid")
+		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
 	)
 	flag.Parse()
 
-	cfg := gen.DefaultConfig()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := hybridrel.DefaultWorldConfig()
 	if *scale == "small" {
-		cfg = gen.SmallConfig()
+		cfg = hybridrel.SmallWorldConfig()
 	}
 	cfg.Seed = *seed
 
 	start := time.Now()
 	log.Printf("building synthetic world (%s scale, seed %d)...", *scale, *seed)
-	w, err := testutil.BuildWorld(cfg)
+	w, err := hybridrel.Synthesize(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("world ready in %v: %d ASes, %d v6 ASes, collection ingested",
+	log.Printf("world ready in %v: %d ASes, %d v6 ASes, %d archives per plane",
 		time.Since(start).Round(time.Millisecond),
-		len(w.In.Order), w.In.Graph6.NumNodes())
+		len(w.Internet.Order), w.Internet.Graph6.NumNodes(), len(w.Archives6))
 
-	a := core.Analyze(w.D4, w.D6, w.Dict, core.DefaultOptions())
+	start = time.Now()
+	a, err := hybridrel.RunPipeline(ctx, w.Sources(),
+		hybridrel.WithParallelism(*parallel),
+		hybridrel.WithProgress(func(st hybridrel.Stage, ev hybridrel.Event) {
+			log.Printf("pipeline %s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The pipeline was the cancellable phase; restore default SIGINT
+	// behavior so Ctrl-C still kills the (potentially long) sweeps.
+	stop()
+	log.Printf("pipeline done in %v", time.Since(start).Round(time.Millisecond))
 	out := os.Stdout
 
 	t1(out, a)
@@ -189,7 +206,7 @@ func figure2(out *os.File, a *core.Analysis, topN int, full bool) {
 
 // x1 scores the single-plane baselines against ground truth — the §4
 // claim that existing algorithms cannot capture hybrid relationships.
-func x1(out *os.File, w *testutil.World, a *core.Analysis) {
+func x1(out *os.File, w *hybridrel.World, a *core.Analysis) {
 	gao6 := gao.Infer(a.D6.Paths(), gao.DefaultConfig())
 	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
 	hybridKeys := make([]asrel.LinkKey, 0, len(a.Hybrids()))
@@ -208,8 +225,8 @@ func x1(out *os.File, w *testutil.World, a *core.Analysis) {
 		{"v4-applied (the [4] effect)", a.Rel4},
 		{"communities+locpref (this paper)", a.Rel6},
 	} {
-		s := infer.ScoreTable(row.tbl, w.In.Truth6, w.D6.Links())
-		h := infer.ScoreTable(row.tbl, w.In.Truth6, hybridKeys)
+		s := infer.ScoreTable(row.tbl, w.Internet.Truth6, a.D6.Links())
+		h := infer.ScoreTable(row.tbl, w.Internet.Truth6, hybridKeys)
 		t.Row(row.name, report.Pct(s.Coverage()), report.Pct(s.Accuracy()), report.Pct(h.Accuracy()))
 	}
 	if err := t.Write(out); err != nil {

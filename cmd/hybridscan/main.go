@@ -3,17 +3,23 @@
 // Communities and LocPrf, joins the planes, and reports the hybrid
 // links, their census, and the valley-path statistics.
 //
+// Archives are ingested concurrently through the v2 pipeline; each -v4
+// / -v6 element may be a file or a directory (every regular file inside
+// is taken as an archive). Interrupting the scan (Ctrl-C) cancels the
+// pipeline mid-ingest.
+//
 // Usage:
 //
-//	hybridscan -irr irr.db -v4 'a.mrt,b.mrt' -v6 'c.mrt,d.mrt' [-top N]
+//	hybridscan -irr irr.db -v4 'a.mrt,b.mrt' -v6 'ribs6/' [-top N] [-parallel N] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hybridrel"
@@ -24,43 +30,36 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hybridscan: ")
 	var (
-		irrPath = flag.String("irr", "", "IRR database (RPSL)")
-		v4List  = flag.String("v4", "", "comma-separated IPv4 MRT archives")
-		v6List  = flag.String("v6", "", "comma-separated IPv6 MRT archives")
-		top     = flag.Int("top", 15, "hybrid links to list")
+		irrPath  = flag.String("irr", "", "IRR database (RPSL)")
+		v4List   = flag.String("v4", "", "comma-separated IPv4 MRT archives or directories")
+		v6List   = flag.String("v6", "", "comma-separated IPv6 MRT archives or directories")
+		top      = flag.Int("top", 15, "hybrid links to list")
+		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		progress = flag.Bool("progress", false, "log pipeline progress to stderr")
 	)
 	flag.Parse()
 	if *v6List == "" || *v4List == "" {
-		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 c.mrt[,d.mrt]")
+		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 ribs6/ [-parallel N] [-progress]")
 		os.Exit(2)
 	}
 
-	var in hybridrel.Inputs
-	var closers []io.Closer
-	defer func() {
-		for _, c := range closers {
-			c.Close()
-		}
-	}()
-	open := func(path string) io.Reader {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		closers = append(closers, f)
-		return f
-	}
-	for _, p := range strings.Split(*v4List, ",") {
-		in.MRT4 = append(in.MRT4, open(p))
-	}
-	for _, p := range strings.Split(*v6List, ",") {
-		in.MRT6 = append(in.MRT6, open(p))
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var in hybridrel.Sources
+	in.MRT4 = expand(*v4List)
+	in.MRT6 = expand(*v6List)
 	if *irrPath != "" {
-		in.IRR = open(*irrPath)
+		in.IRR = hybridrel.SourceFile(*irrPath)
 	}
 
-	analysis, err := hybridrel.Run(in, hybridrel.DefaultOptions())
+	opts := []hybridrel.Option{hybridrel.WithParallelism(*parallel)}
+	if *progress {
+		opts = append(opts, hybridrel.WithProgress(func(st hybridrel.Stage, ev hybridrel.Event) {
+			log.Printf("%s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
+		}))
+	}
+	analysis, err := hybridrel.RunPipeline(ctx, in, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,4 +96,22 @@ func main() {
 	st := analysis.ValleyReport()
 	fmt.Printf("valley paths: %s of classifiable IPv6 paths (%d total); %s of them necessary for reachability\n",
 		report.Pct(st.ValleyShare()), st.Valley, report.Pct(st.NecessaryShare()))
+}
+
+// expand turns a comma-separated list of files and directories into
+// pipeline sources; inside a directory only *.mrt files are taken.
+func expand(list string) []hybridrel.Source {
+	var out []hybridrel.Source
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		srcs, err := hybridrel.SourceMRT(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, srcs...)
+	}
+	return out
 }

@@ -1,20 +1,26 @@
 // Command mrtdump inspects MRT archives the way bgpdump does: one line
 // per RIB entry with prefix, peer, AS path, communities and LOCAL_PREF.
 //
+// Arguments may be files or directories (every *.mrt file inside a
+// directory is dumped, in name order). Ctrl-C aborts mid-archive.
+//
 // Usage:
 //
-//	mrtdump [-summary] FILE...
+//	mrtdump [-summary] FILE|DIR...
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 
 	"hybridrel/internal/bgp"
 	"hybridrel/internal/mrt"
+	"hybridrel/internal/pipeline"
 )
 
 func main() {
@@ -23,24 +29,48 @@ func main() {
 	summary := flag.Bool("summary", false, "print per-file record counts only")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mrtdump [-summary] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: mrtdump [-summary] FILE|DIR...")
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var sources []pipeline.Source
 	for _, path := range flag.Args() {
-		if err := dump(path, *summary); err != nil {
+		srcs, err := pipeline.ExpandMRT(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, srcs...)
+	}
+	for _, src := range sources {
+		if err := dump(ctx, src, *summary); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-func dump(path string, summary bool) error {
-	f, err := os.Open(path)
+// ctxReader aborts reads once the context is canceled, so Ctrl-C stops
+// a dump mid-archive.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+func dump(ctx context.Context, src pipeline.Source, summary bool) error {
+	f, err := src.Open(ctx)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	r := mrt.NewReader(f)
+	r := mrt.NewReader(&ctxReader{ctx: ctx, r: f})
 	var peers []mrt.Peer
 	counts := map[string]int{}
 	for {
@@ -100,6 +130,6 @@ func dump(path string, summary bool) error {
 		}
 	}
 	fmt.Printf("%s: peer-index=%d rib=%d bgp4mp=%d other=%d\n",
-		path, counts["peer-index"], counts["rib"], counts["bgp4mp"], counts["other"])
+		src.Name(), counts["peer-index"], counts["rib"], counts["bgp4mp"], counts["other"])
 	return nil
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,12 +41,12 @@ func main() {
 		fmt.Println()
 	}
 
-	// Part 2: Figure 2 on a synthesized world.
+	// Part 2: Figure 2 on a synthesized world, through the v2 pipeline.
 	world, err := hybridrel.Synthesize(hybridrel.SmallWorldConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+	analysis, err := hybridrel.RunPipeline(context.Background(), world.Sources())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+	analysis, err := hybridrel.RunPipeline(context.Background(), world.Sources())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,9 +21,14 @@ func main() {
 		len(world.Internet.Order), world.Internet.Graph6.NumNodes(),
 		world.Internet.FreeTransitHub)
 
-	// The pipeline consumes only the serialized MRT archives and the
+	// The v2 pipeline consumes only the serialized MRT archives and the
 	// IRR database — exactly what a real measurement study would have.
-	analysis, err := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+	// Archives are ingested concurrently; WithProgress watches the
+	// stages go by and the context could cancel the run mid-ingest.
+	analysis, err := hybridrel.RunPipeline(context.Background(), world.Sources(),
+		hybridrel.WithProgress(func(st hybridrel.Stage, ev hybridrel.Event) {
+			fmt.Printf("  [%s] %s (%d/%d)\n", st, ev.Item, ev.Done, ev.Total)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

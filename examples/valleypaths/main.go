@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+	analysis, err := hybridrel.RunPipeline(context.Background(), world.Sources())
 	if err != nil {
 		log.Fatal(err)
 	}

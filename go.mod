@@ -1,0 +1,3 @@
+module hybridrel
+
+go 1.24

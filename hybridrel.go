@@ -19,17 +19,27 @@
 // database with planted ground truth, so every experiment in the paper
 // can be regenerated and scored.
 //
-// Quick start:
+// Quick start (v2 pipeline API):
 //
 //	world, _ := hybridrel.Synthesize(hybridrel.SmallWorldConfig())
-//	analysis, _ := hybridrel.Run(world.Inputs(), hybridrel.DefaultOptions())
+//	analysis, _ := hybridrel.RunPipeline(context.Background(), world.Sources())
 //	for _, h := range analysis.Hybrids() {
 //		fmt.Println(h.Key, h.V4, h.V6, h.Class)
 //	}
+//
+// RunPipeline ingests every archive concurrently (per-archive dataset
+// shards merged deterministically), runs both planes' inference stacks
+// in parallel, honors context cancellation mid-ingest, and returns a
+// Analysis whose derived products are computed once and cached. Tune it
+// with functional options: WithParallelism bounds the worker pool,
+// WithLocPref adjusts the LocPrf calibration, WithProgress observes
+// stage completion. The v1 Run(Inputs, Options) entry point remains as
+// a thin compatibility wrapper with identical output.
 package hybridrel
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -38,6 +48,8 @@ import (
 	"hybridrel/internal/collector"
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
+	"hybridrel/internal/infer/locpref"
+	"hybridrel/internal/pipeline"
 )
 
 // Core vocabulary, re-exported for consumers.
@@ -90,10 +102,74 @@ type (
 	Visibility = core.Visibility
 )
 
+// v2 pipeline vocabulary, re-exported from internal/pipeline.
+type (
+	// Source is one measurement input archive (bytes, reader, file).
+	Source = pipeline.Source
+	// Sources are the assembled pipeline inputs.
+	Sources = pipeline.Sources
+	// Option customizes a pipeline run, functional-options style.
+	Option = pipeline.Option
+	// Stage identifies a pipeline stage in progress events.
+	Stage = pipeline.Stage
+	// Event is one progress notification.
+	Event = pipeline.Event
+	// ProgressFunc observes pipeline progress.
+	ProgressFunc = pipeline.ProgressFunc
+	// LocPrefConfig tunes the LocPrf "Rosetta stone" calibration.
+	LocPrefConfig = locpref.Config
+)
+
+// Pipeline stages, in execution order.
+const (
+	StageIngest  = pipeline.StageIngest
+	StageIRR     = pipeline.StageIRR
+	StageInfer   = pipeline.StageInfer
+	StageAnalyze = pipeline.StageAnalyze
+)
+
+// WithLocPref overrides the LocPrf calibration configuration.
+func WithLocPref(cfg LocPrefConfig) Option { return pipeline.WithLocPref(cfg) }
+
+// WithParallelism bounds the number of concurrent pipeline workers.
+// One means fully sequential execution; values < 1 restore the default
+// (GOMAXPROCS). Output is deterministic at every setting.
+func WithParallelism(n int) Option { return pipeline.WithParallelism(n) }
+
+// WithProgress installs a progress observer on the pipeline stages.
+func WithProgress(fn ProgressFunc) Option { return pipeline.WithProgress(fn) }
+
+// SourceBytes wraps an in-memory archive as a reusable source.
+func SourceBytes(name string, data []byte) Source { return pipeline.Bytes(name, data) }
+
+// SourceReader wraps a one-shot stream as a source.
+func SourceReader(name string, r io.Reader) Source { return pipeline.Reader(name, r) }
+
+// SourceFile reads an archive from disk, re-opened on every run.
+func SourceFile(path string) Source { return pipeline.File(path) }
+
+// SourceDir lists a directory's regular files as sources in name order.
+func SourceDir(dir string) ([]Source, error) { return pipeline.Dir(dir) }
+
+// SourceGlob expands a filepath pattern into file sources.
+func SourceGlob(pattern string) ([]Source, error) { return pipeline.Glob(pattern) }
+
+// SourceMRT resolves a file-or-directory path into MRT sources (a
+// directory contributes its *.mrt files).
+func SourceMRT(path string) ([]Source, error) { return pipeline.ExpandMRT(path) }
+
+// RunPipeline executes the v2 staged pipeline: concurrent ingest of
+// every archive, parallel per-plane inference, memoized analysis.
+func RunPipeline(ctx context.Context, in Sources, opts ...Option) (*Analysis, error) {
+	return core.RunPipeline(ctx, in, opts...)
+}
+
 // DefaultOptions returns the paper-faithful pipeline configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Run executes the full pipeline from raw inputs.
+// Run executes the full pipeline from raw inputs. It is the v1 entry
+// point, kept as a thin compatibility wrapper over RunPipeline; output
+// is identical.
 func Run(in Inputs, opt Options) (*Analysis, error) { return core.Run(in, opt) }
 
 // WorldConfig configures the synthetic Internet generator.
@@ -163,7 +239,24 @@ func SynthesizeCollectors(cfg WorldConfig, collectors int) (*World, error) {
 	return w, nil
 }
 
-// Inputs adapts the world's serialized archives into pipeline inputs.
+// Sources adapts the world's serialized archives into v2 pipeline
+// sources. Unlike Inputs, the sources are reusable: the same Sources
+// value can feed any number of RunPipeline calls.
+func (w *World) Sources() Sources {
+	var s Sources
+	for i, a := range w.Archives4 {
+		s.MRT4 = append(s.MRT4, SourceBytes(fmt.Sprintf("ipv4/collector%02d", i), a))
+	}
+	for i, a := range w.Archives6 {
+		s.MRT6 = append(s.MRT6, SourceBytes(fmt.Sprintf("ipv6/collector%02d", i), a))
+	}
+	s.IRR = SourceBytes("irr", w.IRR)
+	return s
+}
+
+// Inputs adapts the world's serialized archives into v1 pipeline
+// inputs (one-shot readers). Kept for compatibility; new code should
+// use Sources.
 func (w *World) Inputs() Inputs {
 	in := Inputs{IRR: bytes.NewReader(w.IRR)}
 	for _, a := range w.Archives4 {

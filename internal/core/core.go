@@ -8,9 +8,10 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"sort"
+	"sync"
 
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/community"
@@ -18,7 +19,7 @@ import (
 	"hybridrel/internal/dataset"
 	communityinfer "hybridrel/internal/infer/communities"
 	"hybridrel/internal/infer/locpref"
-	"hybridrel/internal/rpsl"
+	"hybridrel/internal/pipeline"
 	"hybridrel/internal/stats"
 	"hybridrel/internal/topology"
 	"hybridrel/internal/valley"
@@ -35,15 +36,31 @@ func DefaultOptions() Options {
 	return Options{LocPref: locpref.DefaultConfig()}
 }
 
-// Inputs are the raw measurement inputs: any number of MRT TABLE_DUMP_V2
-// archives per plane plus an IRR database.
+// Inputs are the v1 raw measurement inputs: any number of MRT
+// TABLE_DUMP_V2 archives per plane plus an IRR database, as bare
+// one-shot readers. New code should build pipeline.Sources directly.
 type Inputs struct {
 	MRT4 []io.Reader
 	MRT6 []io.Reader
 	IRR  io.Reader
 }
 
-// Analysis is the assembled result of the methodology.
+// Sources adapts the v1 reader slices into v2 pipeline sources.
+func (in Inputs) Sources() pipeline.Sources {
+	s := pipeline.Sources{
+		MRT4: pipeline.Readers("ipv4", in.MRT4),
+		MRT6: pipeline.Readers("ipv6", in.MRT6),
+	}
+	if in.IRR != nil {
+		s.IRR = pipeline.Reader("irr", in.IRR)
+	}
+	return s
+}
+
+// Analysis is the assembled result of the methodology. Its derived
+// products — the dual-stack join, the hybrid list, coverage, census,
+// visibility, and the valley report — are computed once on first use
+// and cached; accessors are safe for concurrent use.
 type Analysis struct {
 	D4, D6 *dataset.Dataset
 	Dict   *community.Dictionary
@@ -57,31 +74,59 @@ type Analysis struct {
 	Rel4, Rel6 *asrel.Table
 
 	graph6 *topology.Graph
+
+	// memo caches the derived products behind once-guards.
+	memo struct {
+		dualOnce   sync.Once
+		dual       []asrel.LinkKey
+		hybOnce    sync.Once
+		hybrids    []HybridLink
+		covOnce    sync.Once
+		coverage   Coverage
+		censusOnce sync.Once
+		census     HybridCensus
+		visOnce    sync.Once
+		visibility Visibility
+		valOnce    sync.Once
+		valley     valley.Stats
+	}
 }
 
-// Run executes the full pipeline from raw inputs.
+// Run executes the full pipeline from raw inputs. It is the v1
+// compatibility entry point: a thin wrapper that adapts the reader
+// slices into sources and defers to RunPipeline with a background
+// context and default concurrency. Results are identical to the
+// sequential seed implementation.
 func Run(in Inputs, opt Options) (*Analysis, error) {
-	d4 := dataset.New(asrel.IPv4)
-	for i, r := range in.MRT4 {
-		if err := d4.AddMRT(r); err != nil {
-			return nil, fmt.Errorf("core: IPv4 archive %d: %w", i, err)
-		}
+	return RunPipeline(context.Background(), in.Sources(), pipeline.WithLocPref(opt.LocPref))
+}
+
+// RunPipeline executes the staged v2 pipeline — concurrent ingest,
+// parallel per-plane inference — and assembles the memoized Analysis.
+func RunPipeline(ctx context.Context, in pipeline.Sources, opts ...pipeline.Option) (*Analysis, error) {
+	p := pipeline.New(opts...)
+	res, err := p.Run(ctx, in)
+	if err != nil {
+		return nil, err
 	}
-	d6 := dataset.New(asrel.IPv6)
-	for i, r := range in.MRT6 {
-		if err := d6.AddMRT(r); err != nil {
-			return nil, fmt.Errorf("core: IPv6 archive %d: %w", i, err)
-		}
+	a := FromResult(res)
+	if fn := p.Config().Progress; fn != nil {
+		fn(pipeline.StageAnalyze, pipeline.Event{Item: "analysis", Done: 1, Total: 1})
 	}
-	dict := community.NewDictionary()
-	if in.IRR != nil {
-		objs, _, err := rpsl.Parse(in.IRR)
-		if err != nil {
-			return nil, fmt.Errorf("core: IRR: %w", err)
-		}
-		dict = community.FromIRR(objs)
+	return a, nil
+}
+
+// FromResult assembles an Analysis from the pipeline's products.
+func FromResult(res *pipeline.Result) *Analysis {
+	a := &Analysis{
+		D4: res.D4, D6: res.D6, Dict: res.Dict,
+		Comm4: res.Comm4, Comm6: res.Comm6,
+		Loc4: res.Loc4, Loc6: res.Loc6,
 	}
-	return Analyze(d4, d6, dict, opt), nil
+	a.Rel4 = merge(res.Comm4.Table, res.Loc4.Table)
+	a.Rel6 = merge(res.Comm6.Table, res.Loc6.Table)
+	a.graph6 = res.D6.Graph()
+	return a
 }
 
 // Analyze runs the inference stack over already-ingested datasets.
@@ -96,6 +141,14 @@ func Analyze(d4, d6 *dataset.Dataset, dict *community.Dictionary, opt Options) *
 	a.Rel6 = merge(a.Comm6.Table, a.Loc6.Table)
 	a.graph6 = d6.Graph()
 	return a
+}
+
+// dualStack memoizes the dual-stack join of the two planes.
+func (a *Analysis) dualStack() []asrel.LinkKey {
+	a.memo.dualOnce.Do(func() {
+		a.memo.dual = dataset.DualStack(a.D4, a.D6)
+	})
+	return a.memo.dual
 }
 
 // merge overlays additions onto base; base entries win on conflict.
@@ -129,29 +182,32 @@ func (c Coverage) Share6() float64 { return stats.Ratio(c.Classified6, c.Links6)
 // ShareDual returns ClassifiedDual/DualStack (the paper's 81%).
 func (c Coverage) ShareDual() float64 { return stats.Ratio(c.ClassifiedDual, c.DualStack) }
 
-// Coverage computes the dataset summary.
+// Coverage computes the dataset summary (cached after the first call).
 func (a *Analysis) Coverage() Coverage {
-	c := Coverage{
-		Paths6: a.D6.NumUniquePaths(),
-		Links6: a.D6.NumLinks(),
-		Links4: a.D4.NumLinks(),
-	}
-	for _, k := range dataset.DualStack(a.D4, a.D6) {
-		c.DualStack++
-		rel6 := a.Rel6.GetKey(k).Known()
-		if rel6 {
-			c.ClassifiedDual++
+	a.memo.covOnce.Do(func() {
+		c := Coverage{
+			Paths6: a.D6.NumUniquePaths(),
+			Links6: a.D6.NumLinks(),
+			Links4: a.D4.NumLinks(),
 		}
-		if rel6 && a.Rel4.GetKey(k).Known() {
-			c.ClassifiedDualBoth++
+		for _, k := range a.dualStack() {
+			c.DualStack++
+			rel6 := a.Rel6.GetKey(k).Known()
+			if rel6 {
+				c.ClassifiedDual++
+			}
+			if rel6 && a.Rel4.GetKey(k).Known() {
+				c.ClassifiedDualBoth++
+			}
 		}
-	}
-	for _, k := range a.D6.Links() {
-		if a.Rel6.GetKey(k).Known() {
-			c.Classified6++
+		for _, k := range a.D6.Links() {
+			if a.Rel6.GetKey(k).Known() {
+				c.Classified6++
+			}
 		}
-	}
-	return c
+		a.memo.coverage = c
+	})
+	return a.memo.coverage
 }
 
 // HybridLink is one detected hybrid relationship.
@@ -165,31 +221,41 @@ type HybridLink struct {
 	Visibility int
 }
 
+// hybridList memoizes the detection pass; callers must not mutate the
+// returned slice.
+func (a *Analysis) hybridList() []HybridLink {
+	a.memo.hybOnce.Do(func() {
+		var out []HybridLink
+		for _, k := range a.dualStack() {
+			v4, v6 := a.Rel4.GetKey(k), a.Rel6.GetKey(k)
+			cls := asrel.Classify(v4, v6)
+			if cls == asrel.NotHybrid {
+				continue
+			}
+			out = append(out, HybridLink{
+				Key: k, V4: v4, V6: v6, Class: cls,
+				Visibility: a.D6.LinkVisibility(k),
+			})
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Visibility != out[j].Visibility {
+				return out[i].Visibility > out[j].Visibility
+			}
+			if out[i].Key.Lo != out[j].Key.Lo {
+				return out[i].Key.Lo < out[j].Key.Lo
+			}
+			return out[i].Key.Hi < out[j].Key.Hi
+		})
+		a.memo.hybrids = out
+	})
+	return a.memo.hybrids
+}
+
 // Hybrids detects every dual-stack link whose recovered relationships
 // differ between the planes, ordered by descending IPv6 path visibility.
+// The detection runs once; each call returns a fresh copy of the list.
 func (a *Analysis) Hybrids() []HybridLink {
-	var out []HybridLink
-	for _, k := range dataset.DualStack(a.D4, a.D6) {
-		v4, v6 := a.Rel4.GetKey(k), a.Rel6.GetKey(k)
-		cls := asrel.Classify(v4, v6)
-		if cls == asrel.NotHybrid {
-			continue
-		}
-		out = append(out, HybridLink{
-			Key: k, V4: v4, V6: v6, Class: cls,
-			Visibility: a.D6.LinkVisibility(k),
-		})
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Visibility != out[j].Visibility {
-			return out[i].Visibility > out[j].Visibility
-		}
-		if out[i].Key.Lo != out[j].Key.Lo {
-			return out[i].Key.Lo < out[j].Key.Lo
-		}
-		return out[i].Key.Hi < out[j].Key.Hi
-	})
-	return out
+	return append([]HybridLink(nil), a.hybridList()...)
 }
 
 // HybridCensus is the §3 ¶2 table: how many classified dual-stack links
@@ -209,15 +275,24 @@ func (h HybridCensus) ClassShare(c asrel.HybridClass) float64 {
 	return stats.Ratio(h.ByClass[c], h.Hybrid)
 }
 
-// HybridCensus tallies the hybrid population.
+// HybridCensus tallies the hybrid population (cached after the first
+// call; the returned ByClass map is a copy the caller may keep).
 func (a *Analysis) HybridCensus() HybridCensus {
-	census := HybridCensus{ByClass: make(map[asrel.HybridClass]int)}
-	census.DualClassified = a.Coverage().ClassifiedDualBoth
-	for _, h := range a.Hybrids() {
-		census.Hybrid++
-		census.ByClass[h.Class]++
+	a.memo.censusOnce.Do(func() {
+		census := HybridCensus{ByClass: make(map[asrel.HybridClass]int)}
+		census.DualClassified = a.Coverage().ClassifiedDualBoth
+		for _, h := range a.hybridList() {
+			census.Hybrid++
+			census.ByClass[h.Class]++
+		}
+		a.memo.census = census
+	})
+	out := a.memo.census
+	out.ByClass = make(map[asrel.HybridClass]int, len(a.memo.census.ByClass))
+	for k, v := range a.memo.census.ByClass {
+		out.ByClass[k] = v
 	}
-	return census
+	return out
 }
 
 // Visibility is the §3 ¶3 result: how present hybrid links are in the
@@ -234,42 +309,49 @@ type Visibility struct {
 // Share returns PathsWithHybrid/Paths (the paper's >28%).
 func (v Visibility) Share() float64 { return stats.Ratio(v.PathsWithHybrid, v.Paths) }
 
-// HybridVisibility scans every IPv6 path for hybrid links.
+// HybridVisibility scans every IPv6 path for hybrid links (cached
+// after the first call).
 func (a *Analysis) HybridVisibility() Visibility {
-	hybrids := make(map[asrel.LinkKey]bool)
-	var hybDegrees []int
-	for _, h := range a.Hybrids() {
-		hybrids[h.Key] = true
-		hybDegrees = append(hybDegrees,
-			a.graph6.Degree(h.Key.Lo), a.graph6.Degree(h.Key.Hi))
-	}
-	var dualDegrees []int
-	for _, k := range dataset.DualStack(a.D4, a.D6) {
-		dualDegrees = append(dualDegrees,
-			a.graph6.Degree(k.Lo), a.graph6.Degree(k.Hi))
-	}
-	v := Visibility{
-		MeanHybridEndpointDegree: stats.MeanInt(hybDegrees),
-		MeanDualEndpointDegree:   stats.MeanInt(dualDegrees),
-	}
-	for _, p := range a.D6.Paths() {
-		v.Paths++
-		for i := 0; i+1 < len(p.Path); i++ {
-			if hybrids[asrel.Key(p.Path[i], p.Path[i+1])] {
-				v.PathsWithHybrid++
-				break
+	a.memo.visOnce.Do(func() {
+		hybrids := make(map[asrel.LinkKey]bool)
+		var hybDegrees []int
+		for _, h := range a.hybridList() {
+			hybrids[h.Key] = true
+			hybDegrees = append(hybDegrees,
+				a.graph6.Degree(h.Key.Lo), a.graph6.Degree(h.Key.Hi))
+		}
+		var dualDegrees []int
+		for _, k := range a.dualStack() {
+			dualDegrees = append(dualDegrees,
+				a.graph6.Degree(k.Lo), a.graph6.Degree(k.Hi))
+		}
+		v := Visibility{
+			MeanHybridEndpointDegree: stats.MeanInt(hybDegrees),
+			MeanDualEndpointDegree:   stats.MeanInt(dualDegrees),
+		}
+		for _, p := range a.D6.Paths() {
+			v.Paths++
+			for i := 0; i+1 < len(p.Path); i++ {
+				if hybrids[asrel.Key(p.Path[i], p.Path[i+1])] {
+					v.PathsWithHybrid++
+					break
+				}
 			}
 		}
-	}
-	return v
+		a.memo.visibility = v
+	})
+	return a.memo.visibility
 }
 
 // ValleyReport classifies every IPv6 path against the valley-free rule
 // under the recovered relationships and assesses which valley paths are
-// necessary for reachability (§3 ¶4).
+// necessary for reachability (§3 ¶4). Cached after the first call.
 func (a *Analysis) ValleyReport() valley.Stats {
-	_, st := valley.Assess(a.D6.Paths(), a.Rel6, a.graph6)
-	return st
+	a.memo.valOnce.Do(func() {
+		_, st := valley.Assess(a.D6.Paths(), a.Rel6, a.graph6)
+		a.memo.valley = st
+	})
+	return a.memo.valley
 }
 
 // BaselineV6 builds the single-plane baseline annotation that Figure 2

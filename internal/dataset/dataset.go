@@ -181,6 +181,51 @@ func (d *Dataset) AddMRT(r io.Reader) error {
 	}
 }
 
+// Merge folds other — a shard of the same plane, typically ingested
+// from one archive by a concurrent worker — into d. Merging shards in
+// archive order produces exactly the dataset sequential ingestion of
+// the same archives in that order would have: paths new to d are
+// adopted with their first-seen attributes, paths d already holds keep
+// d's attributes and gain other's prefixes and observation counts, and
+// the ingest tallies sum. Merge takes ownership of other's path
+// records; other must not be used afterwards.
+func (d *Dataset) Merge(other *Dataset) error {
+	if other == nil {
+		return nil
+	}
+	if d.AF != other.AF {
+		return fmt.Errorf("dataset: cannot merge %s shard into %s dataset", other.AF, d.AF)
+	}
+	for key, in := range other.paths {
+		obs, ok := d.paths[key]
+		if !ok {
+			d.paths[key] = in
+			for i := 1; i < len(in.Path); i++ {
+				d.links[asrel.Key(in.Path[i-1], in.Path[i])]++
+			}
+			continue
+		}
+		obs.Obs += in.Obs
+		for _, p := range in.Prefixes {
+			dup := false
+			for _, q := range obs.Prefixes {
+				if p == q {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				obs.Prefixes = append(obs.Prefixes, p)
+			}
+		}
+	}
+	d.observations += other.observations
+	d.droppedSets += other.droppedSets
+	d.droppedLoops += other.droppedLoops
+	d.skippedAF += other.skippedAF
+	return nil
+}
+
 // NumUniquePaths returns the number of distinct cleaned AS paths.
 func (d *Dataset) NumUniquePaths() int { return len(d.paths) }
 

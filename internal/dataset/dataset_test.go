@@ -191,6 +191,74 @@ func TestAddMRTDropsSetPaths(t *testing.T) {
 	}
 }
 
+func TestMergeMatchesSequential(t *testing.T) {
+	// Two "archives" of raw observations with overlapping paths: shard
+	// ingestion + Merge must reproduce sequential ingestion exactly.
+	type obs struct {
+		path   []asrel.ASN
+		prefix netip.Prefix
+	}
+	archives := [][]obs{
+		{
+			{[]asrel.ASN{1, 2, 3}, netip.MustParsePrefix("10.0.0.0/24")},
+			{[]asrel.ASN{1, 2, 2, 3}, netip.MustParsePrefix("10.0.1.0/24")},
+			{[]asrel.ASN{4, 2, 5}, netip.MustParsePrefix("10.0.2.0/24")},
+			{[]asrel.ASN{4, 4, 1}, netip.Prefix{}},
+		},
+		{
+			{[]asrel.ASN{1, 2, 3}, netip.MustParsePrefix("10.0.3.0/24")}, // dup path, new prefix
+			{[]asrel.ASN{1, 2, 3}, netip.MustParsePrefix("10.0.0.0/24")}, // dup path, dup prefix
+			{[]asrel.ASN{6, 2, 3}, netip.MustParsePrefix("10.0.4.0/24")}, // new path, shared link
+			{[]asrel.ASN{7, 8, 7}, netip.Prefix{}},                      // loop, dropped
+		},
+	}
+	seq := New(asrel.IPv4)
+	for _, arch := range archives {
+		for _, o := range arch {
+			_ = seq.AddPath(o.path, o.prefix, nil, 0, false)
+		}
+	}
+	merged := New(asrel.IPv4)
+	for _, arch := range archives {
+		shard := New(asrel.IPv4)
+		for _, o := range arch {
+			_ = shard.AddPath(o.path, o.prefix, nil, 0, false)
+		}
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(seq.Paths(), merged.Paths()) {
+		t.Errorf("merged paths differ from sequential:\nseq: %+v\nmerged: %+v", seq.Paths(), merged.Paths())
+	}
+	if !reflect.DeepEqual(seq.Links(), merged.Links()) {
+		t.Errorf("merged links differ: %v vs %v", seq.Links(), merged.Links())
+	}
+	for _, k := range seq.Links() {
+		if seq.LinkVisibility(k) != merged.LinkVisibility(k) {
+			t.Errorf("visibility(%s) = %d sequential, %d merged", k, seq.LinkVisibility(k), merged.LinkVisibility(k))
+		}
+	}
+	if seq.NumObservations() != merged.NumObservations() {
+		t.Errorf("observations = %d sequential, %d merged", seq.NumObservations(), merged.NumObservations())
+	}
+	s1, l1 := seq.Dropped()
+	s2, l2 := merged.Dropped()
+	if s1 != s2 || l1 != l2 {
+		t.Errorf("drop tallies = (%d,%d) sequential, (%d,%d) merged", s1, l1, s2, l2)
+	}
+}
+
+func TestMergeRejectsPlaneMismatch(t *testing.T) {
+	d4, d6 := New(asrel.IPv4), New(asrel.IPv6)
+	if err := d4.Merge(d6); err == nil {
+		t.Error("cross-plane merge accepted")
+	}
+	if err := d4.Merge(nil); err != nil {
+		t.Errorf("nil merge = %v", err)
+	}
+}
+
 func TestDualStack(t *testing.T) {
 	d4 := New(asrel.IPv4)
 	d6 := New(asrel.IPv6)

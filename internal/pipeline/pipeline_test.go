@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridrel/internal/asrel"
+)
+
+func readAll(t *testing.T, s Source) string {
+	t.Helper()
+	rc, err := s.Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestBytesSourceReusable(t *testing.T) {
+	s := Bytes("mem", []byte("payload"))
+	if s.Name() != "mem" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if readAll(t, s) != "payload" || readAll(t, s) != "payload" {
+		t.Error("bytes source not reusable")
+	}
+}
+
+func TestReaderSourceOneShot(t *testing.T) {
+	s := Reader("stream", strings.NewReader("once"))
+	if readAll(t, s) != "once" {
+		t.Error("reader source content wrong")
+	}
+	if _, err := s.Open(context.Background()); err == nil {
+		t.Error("second Open of a reader source succeeded")
+	}
+}
+
+func TestSourceOpenHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []Source{Bytes("b", nil), Reader("r", strings.NewReader("")), File("/nonexistent")} {
+		if _, err := s.Open(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Open on canceled ctx = %v", s.Name(), err)
+		}
+	}
+}
+
+func TestFileDirGlobSources(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.mrt", "a.mrt", "c.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	f := File(filepath.Join(dir, "a.mrt"))
+	if readAll(t, f) != "a.mrt" {
+		t.Error("file source content wrong")
+	}
+
+	srcs, err := Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range srcs {
+		names = append(names, filepath.Base(s.Name()))
+	}
+	want := []string{"a.mrt", "b.mrt", "c.txt"}
+	if len(names) != len(want) {
+		t.Fatalf("dir sources = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("dir sources = %v, want %v", names, want)
+		}
+	}
+
+	globbed, err := Glob(filepath.Join(dir, "*.mrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(globbed) != 2 || filepath.Base(globbed[0].Name()) != "a.mrt" {
+		t.Fatalf("glob sources = %d", len(globbed))
+	}
+}
+
+func TestExpandMRT(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.mrt", "a.mrt", "irr.db"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcs, err := ExpandMRT(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 || filepath.Base(srcs[0].Name()) != "a.mrt" || filepath.Base(srcs[1].Name()) != "b.mrt" {
+		t.Fatalf("dir expansion wrong: %v", srcs)
+	}
+	srcs, err = ExpandMRT(filepath.Join(dir, "irr.db"))
+	if err != nil || len(srcs) != 1 {
+		t.Fatalf("plain file expansion = %v, %v", srcs, err)
+	}
+	if _, err := ExpandMRT(t.TempDir()); err == nil || !strings.Contains(err.Error(), "no *.mrt") {
+		t.Errorf("empty dir err = %v", err)
+	}
+	if _, err := ExpandMRT(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestReadersAdapter(t *testing.T) {
+	srcs := Readers("ipv6", []io.Reader{strings.NewReader("x"), strings.NewReader("y")})
+	if len(srcs) != 2 || srcs[0].Name() != "ipv6#0" || srcs[1].Name() != "ipv6#1" {
+		t.Fatalf("adapter names wrong: %v", srcs)
+	}
+	if readAll(t, srcs[1]) != "y" {
+		t.Error("adapter content wrong")
+	}
+}
+
+func TestIngestPropagatesArchiveError(t *testing.T) {
+	// Garbage bytes are not an MRT archive; the failing archive's name
+	// must appear in the error and the run must fail as a whole.
+	in := Sources{
+		MRT4: []Source{Bytes("bad4", []byte("this is not MRT"))},
+	}
+	_, err := New(WithParallelism(2)).Ingest(context.Background(), in)
+	if err == nil || !strings.Contains(err.Error(), "bad4") {
+		t.Fatalf("err = %v, want mention of bad4", err)
+	}
+}
+
+func TestIngestEmptyInputs(t *testing.T) {
+	res, err := New().Ingest(context.Background(), Sources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D4.AF != asrel.IPv4 || res.D6.AF != asrel.IPv6 {
+		t.Error("empty ingest planes wrong")
+	}
+	if res.Dict == nil {
+		t.Error("nil dictionary for empty inputs")
+	}
+}
+
+func TestNewConfigDefaultsAndOptions(t *testing.T) {
+	c := NewConfig()
+	if c.Parallelism < 1 {
+		t.Error("default parallelism < 1")
+	}
+	if c.Progress != nil {
+		t.Error("default progress set")
+	}
+	c = NewConfig(WithParallelism(-5))
+	if c.Parallelism < 1 {
+		t.Error("negative parallelism not normalized")
+	}
+	called := false
+	c = NewConfig(WithParallelism(3), WithProgress(func(Stage, Event) { called = true }))
+	if c.Parallelism != 3 || c.Progress == nil {
+		t.Error("options not applied")
+	}
+	c.Progress(StageIngest, Event{})
+	if !called {
+		t.Error("progress callback not wired")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for _, s := range []Stage{StageIngest, StageIRR, StageInfer, StageAnalyze} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "stage(") {
+			t.Errorf("stage %d has no name", int(s))
+		}
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Error("unknown stage string wrong")
+	}
+}
+
+// errCloser tracks that the pipeline closes what it opens.
+type trackedSource struct {
+	inner  Source
+	closed *bool
+}
+
+func (s *trackedSource) Name() string { return s.inner.Name() }
+
+func (s *trackedSource) Open(ctx context.Context) (io.ReadCloser, error) {
+	rc, err := s.inner.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &trackedCloser{ReadCloser: rc, closed: s.closed}, nil
+}
+
+type trackedCloser struct {
+	io.ReadCloser
+	closed *bool
+}
+
+func (c *trackedCloser) Close() error {
+	*c.closed = true
+	return c.ReadCloser.Close()
+}
+
+func TestIngestClosesSources(t *testing.T) {
+	// An empty-but-valid archive: zero MRT records decode to an empty
+	// dataset without error.
+	var closed bool
+	in := Sources{
+		MRT6: []Source{&trackedSource{inner: Bytes("v6", bytes.NewBuffer(nil).Bytes()), closed: &closed}},
+	}
+	if _, err := New().Ingest(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if !closed {
+		t.Error("pipeline leaked an open source")
+	}
+}

@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Source is one measurement input — an MRT archive or an IRR database —
+// abstracted away from where its bytes live. Sources replace the bare
+// []io.Reader fields of the v1 Inputs struct: in-memory archives and
+// files can be re-opened (and therefore re-run), and opening is
+// context-aware so a canceled pipeline never touches the input.
+type Source interface {
+	// Name identifies the source in errors and progress events.
+	Name() string
+	// Open returns the source's byte stream. The pipeline closes the
+	// returned reader when it is done with it.
+	Open(ctx context.Context) (io.ReadCloser, error)
+}
+
+// Bytes wraps an in-memory archive. The source is reusable: every Open
+// returns a fresh reader over the same bytes.
+func Bytes(name string, data []byte) Source {
+	return &bytesSource{name: name, data: data}
+}
+
+type bytesSource struct {
+	name string
+	data []byte
+}
+
+func (s *bytesSource) Name() string { return s.name }
+
+func (s *bytesSource) Open(ctx context.Context) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(s.data)), nil
+}
+
+// Reader wraps a one-shot stream, preserving v1's []io.Reader inputs.
+// The source can only be opened once; a second Open fails. If r is an
+// io.Closer the pipeline closes it after ingestion.
+func Reader(name string, r io.Reader) Source {
+	return &readerSource{name: name, r: r}
+}
+
+type readerSource struct {
+	name string
+	mu   sync.Mutex
+	r    io.Reader
+	used bool
+}
+
+func (s *readerSource) Name() string { return s.name }
+
+func (s *readerSource) Open(ctx context.Context) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used {
+		return nil, fmt.Errorf("pipeline: source %s already consumed", s.name)
+	}
+	s.used = true
+	if rc, ok := s.r.(io.ReadCloser); ok {
+		return rc, nil
+	}
+	return io.NopCloser(s.r), nil
+}
+
+// File reads an archive from disk, re-opened on every run.
+func File(path string) Source { return fileSource(path) }
+
+type fileSource string
+
+func (s fileSource) Name() string { return string(s) }
+
+func (s fileSource) Open(ctx context.Context) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.Open(string(s))
+}
+
+// Dir lists every regular file directly under dir as a file source, in
+// name order.
+func Dir(dir string) ([]Source, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	var out []Source
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			out = append(out, File(filepath.Join(dir, e.Name())))
+		}
+	}
+	return out, nil
+}
+
+// Glob expands a filepath pattern into file sources in sorted order.
+func Glob(pattern string) ([]Source, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: glob %q: %w", pattern, err)
+	}
+	sort.Strings(paths)
+	out := make([]Source, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, File(p))
+	}
+	return out, nil
+}
+
+// ExpandMRT resolves one command-line path into MRT sources: a plain
+// file becomes a single file source; a directory contributes its *.mrt
+// files in sorted order. A directory without any *.mrt file is an
+// error, since the caller named it expecting archives.
+func ExpandMRT(path string) ([]Source, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if !info.IsDir() {
+		return []Source{File(path)}, nil
+	}
+	srcs, err := Glob(filepath.Join(path, "*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("pipeline: no *.mrt files in %s", path)
+	}
+	return srcs, nil
+}
+
+// Readers adapts a v1-style reader slice into one-shot sources named
+// prefix#0, prefix#1, ...
+func Readers(prefix string, rs []io.Reader) []Source {
+	out := make([]Source, 0, len(rs))
+	for i, r := range rs {
+		out = append(out, Reader(fmt.Sprintf("%s#%d", prefix, i), r))
+	}
+	return out
+}
+
+// Sources are the assembled pipeline inputs: any number of MRT
+// TABLE_DUMP_V2 archives per plane plus an optional IRR database.
+type Sources struct {
+	MRT4 []Source
+	MRT6 []Source
+	IRR  Source
+}
