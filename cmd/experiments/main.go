@@ -6,13 +6,19 @@
 // (X1). Paper values are printed alongside the measured ones;
 // EXPERIMENTS.md records the comparison.
 //
+// With -json the headline results (T1–T4 plus the hybrid list) are
+// printed as one machine-readable document using the same structs the
+// serving API returns, so batch output and the HTTP schema never
+// drift; the figure sweeps and the accuracy study stay table-only.
+//
 // Usage:
 //
-//	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact]
+//	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact] [-json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +33,7 @@ import (
 	"hybridrel/internal/infer/gao"
 	"hybridrel/internal/infer/rank"
 	"hybridrel/internal/report"
+	"hybridrel/internal/serve"
 	"hybridrel/internal/topology"
 )
 
@@ -39,6 +46,7 @@ func main() {
 		topN     = flag.Int("top", 20, "corrections in the Figure-2 sweep")
 		full     = flag.Bool("full-sweep", false, "also sweep every detected hybrid")
 		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		jsonOut  = flag.Bool("json", false, "print T1-T4 + hybrids as machine-readable JSON")
 	)
 	flag.Parse()
 
@@ -75,6 +83,19 @@ func main() {
 	stop()
 	log.Printf("pipeline done in %v", time.Since(start).Round(time.Millisecond))
 	out := os.Stdout
+
+	if *jsonOut {
+		snap := hybridrel.CaptureSnapshot(a)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Stats   serve.StatsResponse `json:"stats"`
+			Hybrids []serve.HybridJSON  `json:"hybrids"`
+		}{serve.StatsOf(snap), serve.HybridsOf(snap.Hybrids)}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	t1(out, a)
 	t2(out, a)

@@ -8,13 +8,19 @@
 // is taken as an archive). Interrupting the scan (Ctrl-C) cancels the
 // pipeline mid-ingest.
 //
+// Results can leave the process in machine form: -export writes the
+// versioned binary snapshot cmd/hybridserve serves, and -json prints
+// the same structs the serving API returns, so the batch and serving
+// schemas stay in sync.
+//
 // Usage:
 //
-//	hybridscan -irr irr.db -v4 'a.mrt,b.mrt' -v6 'ribs6/' [-top N] [-parallel N] [-progress]
+//	hybridscan -irr irr.db -v4 'a.mrt,b.mrt' -v6 'ribs6/' [-top N] [-parallel N] [-progress] [-export out.bin] [-json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +30,16 @@ import (
 
 	"hybridrel"
 	"hybridrel/internal/report"
+	"hybridrel/internal/serve"
 )
+
+// scanJSON is the -json document: the serving API's stats schema plus
+// the full hybrid list, exactly as GET /v1/stats and /v1/hybrids
+// would render them.
+type scanJSON struct {
+	Stats   serve.StatsResponse `json:"stats"`
+	Hybrids []serve.HybridJSON  `json:"hybrids"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,10 +51,12 @@ func main() {
 		top      = flag.Int("top", 15, "hybrid links to list")
 		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
 		progress = flag.Bool("progress", false, "log pipeline progress to stderr")
+		export   = flag.String("export", "", "write the analysis snapshot to this file")
+		jsonOut  = flag.Bool("json", false, "print machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 	if *v6List == "" || *v4List == "" {
-		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 ribs6/ [-parallel N] [-progress]")
+		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 ribs6/ [-parallel N] [-progress] [-export out.bin] [-json]")
 		os.Exit(2)
 	}
 
@@ -62,6 +79,28 @@ func main() {
 	analysis, err := hybridrel.RunPipeline(ctx, in, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *export != "" {
+		if err := hybridrel.WriteSnapshotFile(*export, analysis); err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("snapshot exported to %s\n\n", *export)
+		}
+	}
+
+	if *jsonOut {
+		snap := hybridrel.CaptureSnapshot(analysis)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scanJSON{
+			Stats:   serve.StatsOf(snap),
+			Hybrids: serve.HybridsOf(snap.Hybrids),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	cov := analysis.Coverage()

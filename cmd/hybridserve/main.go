@@ -1,0 +1,198 @@
+// Command hybridserve exposes hybrid-relationship analysis results
+// over the HTTP JSON API. It serves from one of three sources:
+//
+//   - an exported snapshot file (-snapshot out.bin), the production
+//     path: the batch pipeline (hybridscan -export) produces the
+//     artifact, hybridserve loads and indexes it;
+//   - raw measurement data (-irr, -v4, -v6), running the v2 pipeline
+//     once at startup and serving the result;
+//   - a synthetic world (-synth small|default), handy for demos and
+//     load tests with no data on disk.
+//
+// The process hot-reloads without dropping a request: SIGHUP or POST
+// /v1/reload re-runs the loader (re-reads the snapshot file or re-runs
+// the pipeline) and atomically swaps the indexed state. SIGINT/SIGTERM
+// shut down gracefully.
+//
+// Usage:
+//
+//	hybridserve -snapshot out.bin [-addr :8080]
+//	hybridserve -irr irr.db -v4 ribs4/ -v6 ribs6/ [-addr :8080] [-parallel N]
+//	hybridserve -synth small [-addr :8080]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybridrel"
+	"hybridrel/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hybridserve: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		snapPath = flag.String("snapshot", "", "serve an exported snapshot file")
+		irrPath  = flag.String("irr", "", "IRR database (RPSL), pipeline mode")
+		v4List   = flag.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
+		v6List   = flag.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
+		synth    = flag.String("synth", "", "serve a synthetic world: small | default")
+		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	)
+	flag.Parse()
+
+	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridserve: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: hybridserve -snapshot out.bin | -irr irr.db -v4 ribs4/ -v6 ribs6/ | -synth small")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	snap, err := load(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("snapshot ready in %v: %d hybrids, %d IPv4 links, %d IPv6 links",
+		time.Since(start).Round(time.Millisecond),
+		len(snap.Hybrids), len(snap.Links4), len(snap.Links6))
+
+	srv := hybridrel.NewServer(snap, hybridrel.WithReload(load))
+
+	// SIGHUP hot-reloads: the loader re-runs and the indexed state swaps
+	// atomically, so in-flight requests never observe a partial load.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(ctx); err != nil {
+				log.Printf("reload failed (still serving previous snapshot): %v", err)
+				continue
+			}
+			s := srv.Snapshot()
+			log.Printf("reloaded: %d hybrids, %d IPv4 links, %d IPv6 links",
+				len(s.Hybrids), len(s.Links4), len(s.Links6))
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (GET /v1/rel /v1/as/{asn} /v1/hybrids /v1/stats /healthz, POST /v1/reload)", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down (in-flight requests get %v)...", *grace)
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// loader builds the snapshot source for the selected mode; the same
+// function serves the initial load and every hot reload.
+func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serve.LoadFunc, error) {
+	modes := 0
+	for _, on := range []bool{snapPath != "", v4List != "" || v6List != "" || irrPath != "", synth != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return nil, errors.New("pick exactly one of -snapshot, -v4/-v6/-irr, or -synth")
+	}
+
+	switch {
+	case snapPath != "":
+		return func(context.Context) (*hybridrel.Snapshot, error) {
+			return hybridrel.OpenSnapshot(snapPath)
+		}, nil
+
+	case synth != "":
+		cfg := hybridrel.DefaultWorldConfig()
+		switch synth {
+		case "small":
+			cfg = hybridrel.SmallWorldConfig()
+		case "default":
+		default:
+			return nil, fmt.Errorf("unknown -synth scale %q (want small or default)", synth)
+		}
+		return func(ctx context.Context) (*hybridrel.Snapshot, error) {
+			w, err := hybridrel.Synthesize(cfg)
+			if err != nil {
+				return nil, err
+			}
+			a, err := hybridrel.RunPipeline(ctx, w.Sources(), hybridrel.WithParallelism(parallel))
+			if err != nil {
+				return nil, err
+			}
+			return hybridrel.CaptureSnapshot(a), nil
+		}, nil
+
+	default:
+		if v4List == "" || v6List == "" {
+			return nil, errors.New("pipeline mode needs both -v4 and -v6")
+		}
+		return func(ctx context.Context) (*hybridrel.Snapshot, error) {
+			var in hybridrel.Sources
+			var err error
+			if in.MRT4, err = expand(v4List); err != nil {
+				return nil, err
+			}
+			if in.MRT6, err = expand(v6List); err != nil {
+				return nil, err
+			}
+			if irrPath != "" {
+				in.IRR = hybridrel.SourceFile(irrPath)
+			}
+			a, err := hybridrel.RunPipeline(ctx, in, hybridrel.WithParallelism(parallel))
+			if err != nil {
+				return nil, err
+			}
+			return hybridrel.CaptureSnapshot(a), nil
+		}, nil
+	}
+}
+
+// expand turns a comma-separated list of files and directories into
+// pipeline sources; inside a directory only *.mrt files are taken.
+func expand(list string) ([]hybridrel.Source, error) {
+	var out []hybridrel.Source
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		srcs, err := hybridrel.SourceMRT(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, srcs...)
+	}
+	return out, nil
+}

@@ -50,6 +50,8 @@ import (
 	"hybridrel/internal/gen"
 	"hybridrel/internal/infer/locpref"
 	"hybridrel/internal/pipeline"
+	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
 )
 
 // Core vocabulary, re-exported for consumers.
@@ -171,6 +173,61 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // point, kept as a thin compatibility wrapper over RunPipeline; output
 // is identical.
 func Run(in Inputs, opt Options) (*Analysis, error) { return core.Run(in, opt) }
+
+// Serving vocabulary, re-exported from internal/snapshot and
+// internal/serve.
+type (
+	// Snapshot is the persisted, queryable artifact of a run: the
+	// per-plane relationship tables, link sets, hybrid list, and
+	// headline statistics, behind a versioned binary codec.
+	Snapshot = snapshot.Snapshot
+	// SnapshotLink is one observed link with its path visibility.
+	SnapshotLink = snapshot.Link
+	// Server serves a snapshot over the HTTP JSON API with indexed
+	// lookups and lock-free hot reload.
+	Server = serve.Server
+	// ServerOption customizes a Server.
+	ServerOption = serve.Option
+)
+
+// WithReload installs the loader invoked by the server's hot-reload
+// paths (POST /v1/reload, and SIGHUP in cmd/hybridserve).
+func WithReload(fn func(context.Context) (*Snapshot, error)) ServerOption {
+	return serve.WithSource(fn)
+}
+
+// CaptureSnapshot extracts the queryable products of an analysis into
+// a snapshot, forcing every memoized derivation.
+func CaptureSnapshot(a *Analysis) *Snapshot { return snapshot.Capture(a) }
+
+// WriteSnapshot captures a and encodes it to w with the versioned
+// binary codec (gzip-compressed). ReadSnapshot reproduces every
+// queryable product exactly.
+func WriteSnapshot(w io.Writer, a *Analysis) error { return snapshot.Write(w, a) }
+
+// WriteSnapshotFile writes a's snapshot to path atomically (temp file
+// + rename), so a serving process hot-reloading the path never sees a
+// half-written artifact.
+func WriteSnapshotFile(path string, a *Analysis) error { return snapshot.WriteFile(path, a) }
+
+// ReadSnapshot decodes a snapshot. Malformed input — wrong file type,
+// a future format version, truncation, corruption — returns a
+// descriptive error, never a panic.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return snapshot.Read(r) }
+
+// OpenSnapshot reads a snapshot file.
+func OpenSnapshot(path string) (*Snapshot, error) { return snapshot.Open(path) }
+
+// NewServer builds the HTTP serving layer over a snapshot; the
+// returned Server is an http.Handler.
+func NewServer(snap *Snapshot, opts ...ServerOption) *Server { return serve.New(snap, opts...) }
+
+// Serve exposes snap on addr until ctx is canceled, then shuts down
+// gracefully (in-flight requests get five seconds to finish). For
+// reload hooks or custom wiring, use NewServer with net/http directly.
+func Serve(ctx context.Context, addr string, snap *Snapshot) error {
+	return serve.New(snap).ListenAndServe(ctx, addr, 5*time.Second)
+}
 
 // WorldConfig configures the synthetic Internet generator.
 type WorldConfig = gen.Config

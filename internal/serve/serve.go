@@ -1,0 +1,419 @@
+// Package serve exposes a loaded snapshot over an HTTP JSON API with
+// indexed lookups: per-link relationship queries, per-AS adjacency
+// views, the paginated hybrid list, and the headline statistics.
+//
+// All per-AS and per-link indexes are computed once when a snapshot is
+// installed; request handlers only perform O(1) map lookups (O(degree)
+// for the per-AS view). The installed state lives behind an
+// atomic.Pointer, so queries are lock-free and a hot reload — POST
+// /v1/reload or SIGHUP in cmd/hybridserve — swaps the whole indexed
+// state in one atomic store: in-flight requests finish against the
+// snapshot they started with and zero requests are dropped.
+//
+// Endpoints:
+//
+//	GET  /v1/rel?a=64500&b=64501   both planes' relationships + hybrid verdict
+//	GET  /v1/as/{asn}              adjacency, per-plane rels, hybrid links
+//	GET  /v1/hybrids               paginated hybrid list (?class=&offset=&limit=)
+//	GET  /v1/stats                 coverage / census / visibility / valley
+//	GET  /healthz                  liveness + snapshot summary
+//	POST /v1/reload                re-run the configured loader and swap
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/core"
+	"hybridrel/internal/snapshot"
+)
+
+// DefaultLimit and MaxLimit bound /v1/hybrids pagination.
+const (
+	DefaultLimit = 100
+	MaxLimit     = 1000
+)
+
+// LoadFunc produces a fresh snapshot for hot reloads: re-reading an
+// exported file, re-running the pipeline, or anything else.
+type LoadFunc func(context.Context) (*snapshot.Snapshot, error)
+
+// Server serves one snapshot at a time. Construct with New; swap the
+// snapshot at any time with Load or Reload. The zero value is not
+// usable. Server implements http.Handler and is safe for concurrent
+// use, including Load/Reload racing active requests.
+type Server struct {
+	state  atomic.Pointer[state]
+	source LoadFunc
+	mux    *http.ServeMux
+	// reloadMu serializes Reload so a slow, older load can never land
+	// after — and overwrite — a newer one.
+	reloadMu sync.Mutex
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithSource installs the loader invoked by Reload and POST /v1/reload.
+func WithSource(fn LoadFunc) Option {
+	return func(s *Server) { s.source = fn }
+}
+
+// New builds a server over snap (which must be non-nil) and installs
+// its routes.
+func New(snap *snapshot.Snapshot, opts ...Option) *Server {
+	s := &Server{mux: http.NewServeMux()}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	s.mux.HandleFunc("GET /v1/rel", s.handleRel)
+	s.mux.HandleFunc("GET /v1/as/{asn}", s.handleAS)
+	s.mux.HandleFunc("GET /v1/hybrids", s.handleHybrids)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.Load(snap)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Load indexes snap and atomically installs it. In-flight requests
+// keep reading the state they started with.
+func (s *Server) Load(snap *snapshot.Snapshot) {
+	s.state.Store(buildState(snap))
+}
+
+// Snapshot returns the currently installed snapshot.
+func (s *Server) Snapshot() *snapshot.Snapshot {
+	return s.state.Load().snap
+}
+
+// Reload runs the configured source and installs its snapshot. It is
+// an error if no source was configured (WithSource). Reloads are
+// serialized, so a slow, older load can never land after — and
+// silently overwrite — a newer one; queries stay lock-free throughout.
+func (s *Server) Reload(ctx context.Context) error {
+	if s.source == nil {
+		return fmt.Errorf("serve: no reload source configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := s.source(ctx)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	s.Load(snap)
+	return nil
+}
+
+// state is one immutable indexed snapshot. Everything a handler needs
+// is precomputed here, at load time, exactly once.
+type state struct {
+	snap *snapshot.Snapshot
+
+	// link4 / link6 map every observed link to its path visibility.
+	link4, link6 map[asrel.LinkKey]int
+	// hybrid maps a hybrid link to its index in snap.Hybrids.
+	hybrid map[asrel.LinkKey]int
+	// byClass holds, per hybrid class, the indexes into snap.Hybrids in
+	// list (visibility) order, so filtered pagination is a slice.
+	byClass map[asrel.HybridClass][]int
+	// as is the per-AS adjacency index.
+	as map[asrel.ASN]*asEntry
+
+	stats    StatsResponse
+	loadedAt time.Time
+}
+
+// asEntry is one AS's precomputed adjacency.
+type asEntry struct {
+	// neighbors is sorted ascending by ASN.
+	neighbors  []neighborRef
+	deg4, deg6 int
+	hybrids    []int // indexes into snap.Hybrids, list order
+}
+
+type neighborRef struct {
+	asn      asrel.ASN
+	in4, in6 bool
+}
+
+func buildState(snap *snapshot.Snapshot) *state {
+	st := &state{
+		snap:     snap,
+		link4:    make(map[asrel.LinkKey]int, len(snap.Links4)),
+		link6:    make(map[asrel.LinkKey]int, len(snap.Links6)),
+		hybrid:   make(map[asrel.LinkKey]int, len(snap.Hybrids)),
+		byClass:  make(map[asrel.HybridClass][]int),
+		as:       make(map[asrel.ASN]*asEntry),
+		stats:    StatsOf(snap),
+		loadedAt: time.Now().UTC(),
+	}
+	nbr := make(map[asrel.ASN]map[asrel.ASN]*neighborRef)
+	touch := func(a, b asrel.ASN, v6 bool) {
+		m, ok := nbr[a]
+		if !ok {
+			m = make(map[asrel.ASN]*neighborRef)
+			nbr[a] = m
+		}
+		r, ok := m[b]
+		if !ok {
+			r = &neighborRef{asn: b}
+			m[b] = r
+		}
+		if v6 {
+			r.in6 = true
+		} else {
+			r.in4 = true
+		}
+	}
+	for _, l := range snap.Links4 {
+		st.link4[l.Key] = l.Visibility
+		touch(l.Key.Lo, l.Key.Hi, false)
+		touch(l.Key.Hi, l.Key.Lo, false)
+	}
+	for _, l := range snap.Links6 {
+		st.link6[l.Key] = l.Visibility
+		touch(l.Key.Lo, l.Key.Hi, true)
+		touch(l.Key.Hi, l.Key.Lo, true)
+	}
+	for asn, m := range nbr {
+		e := &asEntry{neighbors: make([]neighborRef, 0, len(m))}
+		for _, r := range m {
+			e.neighbors = append(e.neighbors, *r)
+			if r.in4 {
+				e.deg4++
+			}
+			if r.in6 {
+				e.deg6++
+			}
+		}
+		sort.Slice(e.neighbors, func(i, j int) bool { return e.neighbors[i].asn < e.neighbors[j].asn })
+		st.as[asn] = e
+	}
+	for i, h := range snap.Hybrids {
+		st.hybrid[h.Key] = i
+		st.byClass[h.Class] = append(st.byClass[h.Class], i)
+		for _, end := range []asrel.ASN{h.Key.Lo, h.Key.Hi} {
+			if e, ok := st.as[end]; ok {
+				e.hybrids = append(e.hybrids, i)
+			}
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	q := r.URL.Query()
+	a, errA := ParseASN(q.Get("a"))
+	b, errB := ParseASN(q.Get("b"))
+	if errA != nil || errB != nil {
+		writeError(w, http.StatusBadRequest, "need ?a= and ?b= AS numbers")
+		return
+	}
+	if a == b {
+		writeError(w, http.StatusBadRequest, "a and b must differ")
+		return
+	}
+	k := asrel.Key(a, b)
+	_, in4 := st.link4[k]
+	v6, in6 := st.link6[k]
+	if !in4 && !in6 {
+		writeError(w, http.StatusNotFound, "link %s not observed in either plane", k)
+		return
+	}
+	resp := RelResponse{
+		A:           uint32(a),
+		B:           uint32(b),
+		V4:          st.snap.Rel4.Get(a, b).String(),
+		V6:          st.snap.Rel6.Get(a, b).String(),
+		In4:         in4,
+		In6:         in6,
+		DualStack:   in4 && in6,
+		Visibility6: v6,
+	}
+	if i, ok := st.hybrid[k]; ok {
+		resp.Hybrid = true
+		resp.Class = st.snap.Hybrids[i].Class.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	asn, err := ParseASN(r.PathValue("asn"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := st.as[asn]
+	if !ok {
+		writeError(w, http.StatusNotFound, "%s not observed in either plane", asn)
+		return
+	}
+	resp := ASResponse{
+		ASN:       uint32(asn),
+		Degree4:   e.deg4,
+		Degree6:   e.deg6,
+		Neighbors: make([]NeighborJSON, 0, len(e.neighbors)),
+		Hybrids:   make([]HybridJSON, 0, len(e.hybrids)),
+	}
+	for _, n := range e.neighbors {
+		k := asrel.Key(asn, n.asn)
+		nj := NeighborJSON{
+			ASN:         uint32(n.asn),
+			In4:         n.in4,
+			In6:         n.in6,
+			DualStack:   n.in4 && n.in6,
+			V4:          st.snap.Rel4.Get(asn, n.asn).String(),
+			V6:          st.snap.Rel6.Get(asn, n.asn).String(),
+			Visibility6: st.link6[k],
+		}
+		if i, ok := st.hybrid[k]; ok {
+			nj.Hybrid = true
+			nj.Class = st.snap.Hybrids[i].Class.String()
+		}
+		resp.Neighbors = append(resp.Neighbors, nj)
+	}
+	for _, i := range e.hybrids {
+		resp.Hybrids = append(resp.Hybrids, hybridJSON(st.snap.Hybrids[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	q := r.URL.Query()
+
+	offset, limit := 0, DefaultLimit
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid offset %q", v)
+			return
+		}
+		offset = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = min(n, MaxLimit)
+	}
+
+	// Unfiltered requests page the hybrid list directly; a class filter
+	// pages the precomputed per-class index. Both preserve visibility
+	// order and both are O(page), not O(total).
+	resp := HybridsResponse{Offset: offset, Limit: limit}
+	page := func(h core.HybridLink) {
+		resp.Hybrids = append(resp.Hybrids, hybridJSON(h))
+	}
+	if v := q.Get("class"); v != "" {
+		cl, err := ParseClass(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Class = cl.String()
+		idx := st.byClass[cl]
+		resp.Total = len(idx)
+		if offset < len(idx) {
+			for _, i := range idx[offset:min(offset+limit, len(idx))] {
+				page(st.snap.Hybrids[i])
+			}
+		}
+	} else {
+		all := st.snap.Hybrids
+		resp.Total = len(all)
+		if offset < len(all) {
+			for _, h := range all[offset:min(offset+limit, len(all))] {
+				page(h)
+			}
+		}
+	}
+	if resp.Hybrids == nil {
+		resp.Hybrids = []HybridJSON{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.state.Load().stats)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		ASNs:     len(st.as),
+		Links4:   len(st.link4),
+		Links6:   len(st.link6),
+		Hybrids:  len(st.snap.Hybrids),
+		LoadedAt: st.loadedAt.Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.source == nil {
+		writeError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	if err := s.Reload(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "reloaded",
+		ASNs:     len(st.as),
+		Links4:   len(st.link4),
+		Links6:   len(st.link6),
+		Hybrids:  len(st.snap.Hybrids),
+		LoadedAt: st.loadedAt.Format(time.RFC3339Nano),
+	})
+}
+
+// ListenAndServe serves s on addr until ctx is canceled, then shuts
+// down gracefully: the listener closes immediately, in-flight requests
+// get up to grace to finish. A nil error means a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	}
+}

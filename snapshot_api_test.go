@@ -1,0 +1,129 @@
+package hybridrel
+
+// End-to-end test of the serving surface through the public facade:
+// synthesize → RunPipeline → WriteSnapshotFile → OpenSnapshot →
+// NewServer, checking the decoded artifact and the HTTP responses
+// against the live analysis.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybridrel/internal/serve"
+)
+
+func TestSnapshotServeEndToEnd(t *testing.T) {
+	w, err := Synthesize(SmallWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunPipeline(context.Background(), w.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Export through the facade, reload from disk.
+	path := filepath.Join(t.TempDir(), "world.snap")
+	if err := WriteSnapshotFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The decoded artifact carries the exact headline numbers.
+	if snap.Coverage != a.Coverage() {
+		t.Errorf("coverage: decoded %+v, live %+v", snap.Coverage, a.Coverage())
+	}
+	if !reflect.DeepEqual(snap.Hybrids, a.Hybrids()) {
+		t.Error("decoded hybrid list differs from the live analysis")
+	}
+	if snap.Valley != a.ValleyReport() {
+		t.Error("decoded valley stats differ from the live analysis")
+	}
+
+	// Serve it and query through real HTTP.
+	reloads := 0
+	srv := NewServer(snap, WithReload(func(context.Context) (*Snapshot, error) {
+		reloads++
+		return OpenSnapshot(path)
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	getJSON := func(method, url string, out any) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		return resp.StatusCode
+	}
+
+	var health serve.HealthResponse
+	if code := getJSON("GET", "/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+
+	var stats serve.StatsResponse
+	if code := getJSON("GET", "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Census.Hybrid != a.HybridCensus().Hybrid {
+		t.Errorf("served hybrid count %d, live %d", stats.Census.Hybrid, a.HybridCensus().Hybrid)
+	}
+
+	h := a.Hybrids()[0]
+	var rel serve.RelResponse
+	url := fmt.Sprintf("/v1/rel?a=%d&b=%d", h.Key.Lo, h.Key.Hi)
+	if code := getJSON("GET", url, &rel); code != http.StatusOK {
+		t.Fatalf("rel: status %d", code)
+	}
+	if !rel.Hybrid || rel.Class != h.Class.String() ||
+		rel.V4 != h.V4.String() || rel.V6 != h.V6.String() {
+		t.Errorf("rel %s: %+v, want %s %s class %s", h.Key, rel, h.V4, h.V6, h.Class)
+	}
+
+	var reloaded serve.HealthResponse
+	if code := getJSON("POST", "/v1/reload", &reloaded); code != http.StatusOK {
+		t.Fatalf("reload: status %d", code)
+	}
+	if reloads != 1 || reloaded.Status != "reloaded" {
+		t.Errorf("reload: %d calls, %+v", reloads, reloaded)
+	}
+}
+
+// TestServeGracefulShutdown pins that Serve returns cleanly once its
+// context is canceled.
+func TestServeGracefulShutdown(t *testing.T) {
+	w, err := Synthesize(SmallWorldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunPipeline(context.Background(), w.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, "127.0.0.1:0", CaptureSnapshot(a)) }()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after cancellation", err)
+	}
+}
