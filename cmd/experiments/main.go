@@ -11,9 +11,16 @@
 // serving API returns, so batch output and the HTTP schema never
 // drift; the figure sweeps and the accuracy study stay table-only.
 //
+// With -scenarios the paper tables are skipped and the ground-truth
+// validation matrix (internal/scenario) runs instead: every scenario
+// family end to end, graded per plane and per relationship class
+// against the planted truth, with the differential invariant suite.
+// The command exits non-zero if any invariant fails.
+//
 // Usage:
 //
 //	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact] [-json]
+//	experiments -scenarios [-tier short|full] [-parallel N] [-json]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -28,44 +36,63 @@ import (
 
 	"hybridrel"
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/cli"
 	"hybridrel/internal/core"
 	"hybridrel/internal/infer"
 	"hybridrel/internal/infer/gao"
 	"hybridrel/internal/infer/rank"
 	"hybridrel/internal/report"
+	"hybridrel/internal/scenario"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/topology"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+func main() { cli.Main("experiments", run) }
+
+// run is the testable entry point: it parses args, writes results to
+// stdout and progress to stderr, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "experiments: ", 0)
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale    = flag.String("scale", "default", "world scale: small | default")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		topN     = flag.Int("top", 20, "corrections in the Figure-2 sweep")
-		full     = flag.Bool("full-sweep", false, "also sweep every detected hybrid")
-		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
-		jsonOut  = flag.Bool("json", false, "print T1-T4 + hybrids as machine-readable JSON")
+		scale     = fs.String("scale", "default", "world scale: small | default")
+		seed      = fs.Int64("seed", 42, "generator seed")
+		topN      = fs.Int("top", 20, "corrections in the Figure-2 sweep")
+		full      = fs.Bool("full-sweep", false, "also sweep every detected hybrid")
+		parallel  = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		jsonOut   = fs.Bool("json", false, "print machine-readable JSON instead of tables")
+		scenarios = fs.Bool("scenarios", false, "run the scenario validation matrix instead of the paper tables")
+		tier      = fs.String("tier", "short", "scenario matrix tier: short | full")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *scenarios {
+		return runScenarios(ctx, *tier, *parallel, *jsonOut, stdout, logger)
+	}
+
 	cfg := hybridrel.DefaultWorldConfig()
-	if *scale == "small" {
+	switch *scale {
+	case "small":
 		cfg = hybridrel.SmallWorldConfig()
+	case "default":
+	default:
+		return fmt.Errorf("unknown -scale %q (want small or default)", *scale)
 	}
 	cfg.Seed = *seed
 
 	start := time.Now()
-	log.Printf("building synthetic world (%s scale, seed %d)...", *scale, *seed)
+	logger.Printf("building synthetic world (%s scale, seed %d)...", *scale, *seed)
 	w, err := hybridrel.Synthesize(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("world ready in %v: %d ASes, %d v6 ASes, %d archives per plane",
+	logger.Printf("world ready in %v: %d ASes, %d v6 ASes, %d archives per plane",
 		time.Since(start).Round(time.Millisecond),
 		len(w.Internet.Order), w.Internet.Graph6.NumNodes(), len(w.Archives6))
 
@@ -73,41 +100,81 @@ func main() {
 	a, err := hybridrel.RunPipeline(ctx, w.Sources(),
 		hybridrel.WithParallelism(*parallel),
 		hybridrel.WithProgress(func(st hybridrel.Stage, ev hybridrel.Event) {
-			log.Printf("pipeline %s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
+			logger.Printf("pipeline %s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
 		}))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The pipeline was the cancellable phase; restore default SIGINT
 	// behavior so Ctrl-C still kills the (potentially long) sweeps.
 	stop()
-	log.Printf("pipeline done in %v", time.Since(start).Round(time.Millisecond))
-	out := os.Stdout
+	logger.Printf("pipeline done in %v", time.Since(start).Round(time.Millisecond))
 
 	if *jsonOut {
 		snap := hybridrel.CaptureSnapshot(a)
-		enc := json.NewEncoder(out)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
+		return enc.Encode(struct {
 			Stats   serve.StatsResponse `json:"stats"`
 			Hybrids []serve.HybridJSON  `json:"hybrids"`
-		}{serve.StatsOf(snap), serve.HybridsOf(snap.Hybrids)}); err != nil {
-			log.Fatal(err)
-		}
-		return
+		}{serve.StatsOf(snap), serve.HybridsOf(snap.Hybrids)})
 	}
 
-	t1(out, a)
-	t2(out, a)
-	t3(out, a)
-	t4(out, a)
-	figure1(out)
-	figure2(out, a, *topN, *full)
-	x1(out, w, a)
+	for _, step := range []func(io.Writer, *core.Analysis) error{t1, t2, t3, t4} {
+		if err := step(stdout, a); err != nil {
+			return err
+		}
+	}
+	if err := figure1(stdout); err != nil {
+		return err
+	}
+	if err := figure2(stdout, a, *topN, *full); err != nil {
+		return err
+	}
+	return x1(stdout, w, a)
+}
+
+// runScenarios executes the validation matrix and renders it as JSON
+// or tables. Failed invariants surface as a non-nil error after the
+// full report is written.
+func runScenarios(ctx context.Context, tier string, parallel int, jsonOut bool, stdout io.Writer, logger *log.Logger) error {
+	var t scenario.Tier
+	switch tier {
+	case "short":
+		t = scenario.TierShort
+	case "full":
+		t = scenario.TierFull
+	default:
+		return fmt.Errorf("unknown -tier %q (want short or full)", tier)
+	}
+	start := time.Now()
+	scs := scenario.Matrix()
+	logger.Printf("running %d scenario families (%s tier)...", len(scs), t)
+	results, err := scenario.RunMatrix(ctx, scs, scenario.Options{Tier: t, Parallelism: parallel})
+	if err != nil {
+		return err
+	}
+	logger.Printf("matrix done in %v", time.Since(start).Round(time.Millisecond))
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	} else if err := scenario.WriteTable(stdout, results); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if !r.InvariantsOK() {
+			return fmt.Errorf("scenario %s failed its invariant suite", r.Name)
+		}
+	}
+	return nil
 }
 
 // t1 prints the dataset summary (§3 ¶1).
-func t1(out *os.File, a *core.Analysis) {
+func t1(out io.Writer, a *core.Analysis) error {
 	c := a.Coverage()
 	t := report.NewTable("T1 — dataset summary (§3 ¶1)",
 		"quantity", "paper (Aug 2010)", "measured")
@@ -116,13 +183,11 @@ func t1(out *os.File, a *core.Analysis) {
 	t.Row("IPv4/IPv6 (dual-stack) links", "7,618", c.DualStack)
 	t.Row("IPv6 links with recovered ToR", "72%", report.Pct(c.Share6()))
 	t.Row("dual-stack links with recovered ToR", "81%", report.Pct(c.ShareDual()))
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }
 
 // t2 prints the hybrid census (§3 ¶2).
-func t2(out *os.File, a *core.Analysis) {
+func t2(out io.Writer, a *core.Analysis) error {
 	census := a.HybridCensus()
 	t := report.NewTable("T2 — hybrid relationship census (§3 ¶2)",
 		"quantity", "paper", "measured")
@@ -132,13 +197,11 @@ func t2(out *os.File, a *core.Analysis) {
 	t.Row("H1: v4 p2p / v6 transit", "67%", report.Pct(census.ClassShare(asrel.HybridPeerTransit)))
 	t.Row("H2: v4 transit / v6 p2p", "~33%", report.Pct(census.ClassShare(asrel.HybridTransitPeer)))
 	t.Row("H3: v4 p2c / v6 c2p (reversal)", "1 link", census.ByClass[asrel.HybridReversed])
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }
 
 // t3 prints hybrid visibility (§3 ¶3).
-func t3(out *os.File, a *core.Analysis) {
+func t3(out io.Writer, a *core.Analysis) error {
 	v := a.HybridVisibility()
 	t := report.NewTable("T3 — hybrid visibility in IPv6 paths (§3 ¶3)",
 		"quantity", "paper", "measured")
@@ -147,13 +210,11 @@ func t3(out *os.File, a *core.Analysis) {
 		fmt.Sprintf("%.1f", v.MeanHybridEndpointDegree))
 	t.Row("mean v6 degree of dual-stack endpoints", "-",
 		fmt.Sprintf("%.1f", v.MeanDualEndpointDegree))
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }
 
 // t4 prints the valley-path taxonomy (§3 ¶4).
-func t4(out *os.File, a *core.Analysis) {
+func t4(out io.Writer, a *core.Analysis) error {
 	st := a.ValleyReport()
 	t := report.NewTable("T4 — valley paths (§3 ¶4)",
 		"quantity", "paper", "measured")
@@ -161,13 +222,11 @@ func t4(out *os.File, a *core.Analysis) {
 	t.Row("valley paths necessary for reachability", "16%", report.Pct(st.NecessaryShare()))
 	t.Row("valley / valley-free / unclassified", "-",
 		fmt.Sprintf("%d / %d / %d", st.Valley, st.ValleyFree, st.Unclassified))
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }
 
 // figure1 reproduces the paper's toy example.
-func figure1(out *os.File) {
+func figure1(out io.Writer) error {
 	g := topology.New()
 	for _, l := range [][2]asrel.ASN{{1, 2}, {1, 3}, {2, 4}, {2, 5}} {
 		g.AddLink(l[0], l[1])
@@ -196,13 +255,11 @@ func figure1(out *os.File) {
 		}
 		t.Row(rel.String(), fmt.Sprintf("%v", members), want)
 	}
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }
 
 // figure2 runs the correction sweep.
-func figure2(out *os.File, a *core.Analysis, topN int, full bool) {
+func figure2(out io.Writer, a *core.Analysis, topN int, full bool) error {
 	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
 	baseline := a.BaselineV6(a.Rel4, rank6.Table)
 	pts := a.Figure2(baseline, topN, 0)
@@ -215,7 +272,7 @@ func figure2(out *os.File, a *core.Analysis, topN int, full bool) {
 		}
 	}
 	if err := t.Write(out); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if full {
 		all := a.Figure2(baseline, len(a.Hybrids()), 0)
@@ -223,11 +280,12 @@ func figure2(out *os.File, a *core.Analysis, topN int, full bool) {
 		fmt.Fprintf(out, "full sweep over %d hybrids: avg %.2f, diameter %d, pairs %d\n\n",
 			len(all)-1, last.Avg, last.Diameter, last.Pairs)
 	}
+	return nil
 }
 
 // x1 scores the single-plane baselines against ground truth — the §4
 // claim that existing algorithms cannot capture hybrid relationships.
-func x1(out *os.File, w *hybridrel.World, a *core.Analysis) {
+func x1(out io.Writer, w *hybridrel.World, a *core.Analysis) error {
 	gao6 := gao.Infer(a.D6.Paths(), gao.DefaultConfig())
 	rank6 := rank.Infer(a.D6.Paths(), rank.DefaultConfig())
 	hybridKeys := make([]asrel.LinkKey, 0, len(a.Hybrids()))
@@ -250,7 +308,5 @@ func x1(out *os.File, w *hybridrel.World, a *core.Analysis) {
 		h := infer.ScoreTable(row.tbl, w.Internet.Truth6, hybridKeys)
 		t.Row(row.name, report.Pct(s.Coverage()), report.Pct(s.Accuracy()), report.Pct(h.Accuracy()))
 	}
-	if err := t.Write(out); err != nil {
-		log.Fatal(err)
-	}
+	return t.Write(out)
 }

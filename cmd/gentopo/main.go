@@ -17,56 +17,77 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
 	"hybridrel"
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gentopo: ")
+func main() { cli.Main("gentopo", run) }
+
+// run is the testable entry point: it parses args, writes artifacts
+// and progress, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "gentopo: ", 0)
+	fs := flag.NewFlagSet("gentopo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale      = flag.String("scale", "small", "world scale: small | default")
-		seed       = flag.Int64("seed", 42, "generator seed")
-		collectors = flag.Int("collectors", 2, "number of collectors")
-		verify     = flag.Bool("verify", false, "re-ingest the written artifacts through the pipeline")
-		out        = flag.String("out", "", "output directory (required)")
+		scale      = fs.String("scale", "small", "world scale: small | default")
+		seed       = fs.Int64("seed", 42, "generator seed")
+		collectors = fs.Int("collectors", 2, "number of collectors")
+		verify     = fs.Bool("verify", false, "re-ingest the written artifacts through the pipeline")
+		out        = fs.String("out", "", "output directory (required)")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 	if *out == "" {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gentopo: -out is required")
+		fs.Usage()
+		return cli.ErrUsage
 	}
 	cfg := hybridrel.DefaultWorldConfig()
-	if *scale == "small" {
+	switch *scale {
+	case "small":
 		cfg = hybridrel.SmallWorldConfig()
+	case "default":
+	default:
+		return fmt.Errorf("unknown -scale %q (want small or default)", *scale)
 	}
 	cfg.Seed = *seed
 
 	world, err := hybridrel.SynthesizeCollectors(cfg, *collectors)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write := func(name string, data []byte) {
+	write := func(name string, data []byte) error {
 		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("wrote %s (%d bytes)", path, len(data))
+		logger.Printf("wrote %s (%d bytes)", path, len(data))
+		return nil
 	}
 	for i, a := range world.Archives4 {
-		write(fmt.Sprintf("rib.ipv4.collector%02d.mrt", i), a)
+		if err := write(fmt.Sprintf("rib.ipv4.collector%02d.mrt", i), a); err != nil {
+			return err
+		}
 	}
 	for i, a := range world.Archives6 {
-		write(fmt.Sprintf("rib.ipv6.collector%02d.mrt", i), a)
+		if err := write(fmt.Sprintf("rib.ipv6.collector%02d.mrt", i), a); err != nil {
+			return err
+		}
 	}
-	write("irr.db", world.IRR)
+	if err := write("irr.db", world.IRR); err != nil {
+		return err
+	}
 
 	// Ground truth for scoring: one line per link and plane.
 	var truth []byte
@@ -77,22 +98,23 @@ func main() {
 			truth = append(truth, fmt.Sprintf("%s %d %d %s\n", af, k.Lo, k.Hi, tbl.GetKey(k))...)
 		}
 	}
-	write("truth.txt", truth)
-	log.Printf("world: %d ASes, %d IPv6 ASes, %d planted hybrids, hub %s, dispute %s/%s",
+	if err := write("truth.txt", truth); err != nil {
+		return err
+	}
+	logger.Printf("world: %d ASes, %d IPv6 ASes, %d planted hybrids, hub %s, dispute %s/%s",
 		len(world.Internet.Order), world.Internet.Graph6.NumNodes(),
 		len(world.Internet.Hybrids), world.Internet.FreeTransitHub,
 		world.Internet.DisputeA, world.Internet.DisputeB)
 
 	if *verify {
-		if err := verifyDir(*out); err != nil {
-			log.Fatal(err)
-		}
+		return verifyDir(*out, logger)
 	}
+	return nil
 }
 
 // verifyDir re-ingests the written artifacts from disk through the v2
 // pipeline and prints the recovered coverage.
-func verifyDir(dir string) error {
+func verifyDir(dir string, logger *log.Logger) error {
 	mrt4, err := hybridrel.SourceGlob(filepath.Join(dir, "rib.ipv4.*.mrt"))
 	if err != nil {
 		return err
@@ -112,7 +134,7 @@ func verifyDir(dir string) error {
 	}
 	cov := analysis.Coverage()
 	census := analysis.HybridCensus()
-	log.Printf("verify: %d IPv6 paths, %d dual-stack links, %d hybrids (%.1f%% of classified)",
+	logger.Printf("verify: %d IPv6 paths, %d dual-stack links, %d hybrids (%.1f%% of classified)",
 		cov.Paths6, cov.DualStack, census.Hybrid, 100*census.HybridShare())
 	return nil
 }

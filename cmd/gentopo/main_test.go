@@ -1,0 +1,66 @@
+package main
+
+// Smoke tests for the gentopo CLI: flag errors, the written artifact
+// set, and the -verify round trip.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridrel/internal/cli"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("bad flag: err = %v, want cli.ErrUsage", err)
+	}
+	errb.Reset()
+	if err := run(nil, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("missing -out: err = %v, want cli.ErrUsage", err)
+	}
+	if !strings.Contains(errb.String(), "-out is required") {
+		t.Errorf("stderr did not explain the missing flag: %q", errb.String())
+	}
+	if err := run([]string{"-scale", "galactic", "-out", t.TempDir()}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "galactic") {
+		t.Fatalf("bad -scale: err = %v, want named error", err)
+	}
+}
+
+func TestRunWritesArtifactsAndVerifies(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	err := run([]string{"-scale", "small", "-collectors", "2", "-verify", "-out", dir}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	for _, name := range []string{
+		"rib.ipv4.collector00.mrt", "rib.ipv4.collector01.mrt",
+		"rib.ipv6.collector00.mrt", "rib.ipv6.collector01.mrt",
+		"irr.db", "truth.txt",
+	} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	truth, err := os.ReadFile(filepath.Join(dir, "truth.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(truth, []byte("IPv4 ")) || !bytes.Contains(truth, []byte("IPv6 ")) {
+		t.Errorf("truth.txt has unexpected shape: %q...", truth[:min(len(truth), 60)])
+	}
+	if !strings.Contains(errb.String(), "verify:") {
+		t.Errorf("-verify did not report coverage: %q", errb.String())
+	}
+}

@@ -23,12 +23,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
-	"strings"
 
 	"hybridrel"
+	"hybridrel/internal/cli"
 	"hybridrel/internal/report"
 	"hybridrel/internal/serve"
 )
@@ -41,31 +42,43 @@ type scanJSON struct {
 	Hybrids []serve.HybridJSON  `json:"hybrids"`
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hybridscan: ")
+func main() { cli.Main("hybridscan", run) }
+
+// run is the testable entry point: it parses args, writes results to
+// stdout and progress to stderr, and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "hybridscan: ", 0)
+	fs := flag.NewFlagSet("hybridscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		irrPath  = flag.String("irr", "", "IRR database (RPSL)")
-		v4List   = flag.String("v4", "", "comma-separated IPv4 MRT archives or directories")
-		v6List   = flag.String("v6", "", "comma-separated IPv6 MRT archives or directories")
-		top      = flag.Int("top", 15, "hybrid links to list")
-		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
-		progress = flag.Bool("progress", false, "log pipeline progress to stderr")
-		export   = flag.String("export", "", "write the analysis snapshot to this file")
-		jsonOut  = flag.Bool("json", false, "print machine-readable JSON instead of tables")
+		irrPath  = fs.String("irr", "", "IRR database (RPSL)")
+		v4List   = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories")
+		v6List   = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories")
+		top      = fs.Int("top", 15, "hybrid links to list")
+		parallel = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		progress = fs.Bool("progress", false, "log pipeline progress to stderr")
+		export   = fs.String("export", "", "write the analysis snapshot to this file")
+		jsonOut  = fs.Bool("json", false, "print machine-readable JSON instead of tables")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 	if *v6List == "" || *v4List == "" {
-		fmt.Fprintln(os.Stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 ribs6/ [-parallel N] [-progress] [-export out.bin] [-json]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: hybridscan -irr irr.db -v4 a.mrt[,b.mrt] -v6 ribs6/ [-parallel N] [-progress] [-export out.bin] [-json]")
+		return cli.ErrUsage
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var in hybridrel.Sources
-	in.MRT4 = expand(*v4List)
-	in.MRT6 = expand(*v6List)
+	var err error
+	if in.MRT4, err = hybridrel.SourceMRTList(*v4List); err != nil {
+		return err
+	}
+	if in.MRT6, err = hybridrel.SourceMRTList(*v6List); err != nil {
+		return err
+	}
 	if *irrPath != "" {
 		in.IRR = hybridrel.SourceFile(*irrPath)
 	}
@@ -73,34 +86,31 @@ func main() {
 	opts := []hybridrel.Option{hybridrel.WithParallelism(*parallel)}
 	if *progress {
 		opts = append(opts, hybridrel.WithProgress(func(st hybridrel.Stage, ev hybridrel.Event) {
-			log.Printf("%s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
+			logger.Printf("%s: %s (%d/%d)", st, ev.Item, ev.Done, ev.Total)
 		}))
 	}
 	analysis, err := hybridrel.RunPipeline(ctx, in, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *export != "" {
 		if err := hybridrel.WriteSnapshotFile(*export, analysis); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !*jsonOut {
-			fmt.Printf("snapshot exported to %s\n\n", *export)
+			fmt.Fprintf(stdout, "snapshot exported to %s\n\n", *export)
 		}
 	}
 
 	if *jsonOut {
 		snap := hybridrel.CaptureSnapshot(analysis)
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(scanJSON{
+		return enc.Encode(scanJSON{
 			Stats:   serve.StatsOf(snap),
 			Hybrids: serve.HybridsOf(snap.Hybrids),
-		}); err != nil {
-			log.Fatal(err)
-		}
-		return
+		})
 	}
 
 	cov := analysis.Coverage()
@@ -111,15 +121,18 @@ func main() {
 	t.Row("dual-stack links", cov.DualStack)
 	t.Row("IPv6 ToR coverage", report.Pct(cov.Share6()))
 	t.Row("dual-stack ToR coverage", report.Pct(cov.ShareDual()))
-	if err := t.Write(os.Stdout); err != nil {
-		log.Fatal(err)
+	if err := t.Write(stdout); err != nil {
+		return err
 	}
 
 	census := analysis.HybridCensus()
-	fmt.Printf("hybrid links: %d of %d classified dual-stack links (%s)\n\n",
+	fmt.Fprintf(stdout, "hybrid links: %d of %d classified dual-stack links (%s)\n\n",
 		census.Hybrid, census.DualClassified, report.Pct(census.HybridShare()))
 
 	hybrids := analysis.Hybrids()
+	if *top < 0 {
+		*top = 0
+	}
 	if *top > len(hybrids) {
 		*top = len(hybrids)
 	}
@@ -128,29 +141,12 @@ func main() {
 	for _, h := range hybrids[:*top] {
 		ht.Row(h.Key.String(), h.V4.String(), h.V6.String(), h.Class.String(), h.Visibility)
 	}
-	if err := ht.Write(os.Stdout); err != nil {
-		log.Fatal(err)
+	if err := ht.Write(stdout); err != nil {
+		return err
 	}
 
 	st := analysis.ValleyReport()
-	fmt.Printf("valley paths: %s of classifiable IPv6 paths (%d total); %s of them necessary for reachability\n",
+	fmt.Fprintf(stdout, "valley paths: %s of classifiable IPv6 paths (%d total); %s of them necessary for reachability\n",
 		report.Pct(st.ValleyShare()), st.Valley, report.Pct(st.NecessaryShare()))
-}
-
-// expand turns a comma-separated list of files and directories into
-// pipeline sources; inside a directory only *.mrt files are taken.
-func expand(list string) []hybridrel.Source {
-	var out []hybridrel.Source
-	for _, p := range strings.Split(list, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		srcs, err := hybridrel.SourceMRT(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		out = append(out, srcs...)
-	}
-	return out
+	return nil
 }

@@ -26,39 +26,48 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"hybridrel"
+	"hybridrel/internal/cli"
 	"hybridrel/internal/serve"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hybridserve: ")
+func main() { cli.Main("hybridserve", run) }
+
+// run is the testable entry point: it parses args, loads the snapshot
+// source, and serves until interrupted. Mode and flag errors return
+// before anything listens.
+func run(args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "hybridserve: ", 0)
+	fs := flag.NewFlagSet("hybridserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		snapPath = flag.String("snapshot", "", "serve an exported snapshot file")
-		irrPath  = flag.String("irr", "", "IRR database (RPSL), pipeline mode")
-		v4List   = flag.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
-		v6List   = flag.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
-		synth    = flag.String("synth", "", "serve a synthetic world: small | default")
-		parallel = flag.Int("parallel", 0, "pipeline workers (0 = all cores)")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+		addr     = fs.String("addr", ":8080", "listen address")
+		snapPath = fs.String("snapshot", "", "serve an exported snapshot file")
+		irrPath  = fs.String("irr", "", "IRR database (RPSL), pipeline mode")
+		v4List   = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
+		v6List   = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
+		synth    = fs.String("synth", "", "serve a synthetic world: small | default")
+		parallel = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		grace    = fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hybridserve: %v\n", err)
-		fmt.Fprintln(os.Stderr, "usage: hybridserve -snapshot out.bin | -irr irr.db -v4 ribs4/ -v6 ribs6/ | -synth small")
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hybridserve: %v\n", err)
+		fmt.Fprintln(stderr, "usage: hybridserve -snapshot out.bin | -irr irr.db -v4 ribs4/ -v6 ribs6/ | -synth small")
+		return cli.ErrUsage
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,9 +76,9 @@ func main() {
 	start := time.Now()
 	snap, err := load(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("snapshot ready in %v: %d hybrids, %d IPv4 links, %d IPv6 links",
+	logger.Printf("snapshot ready in %v: %d hybrids, %d IPv4 links, %d IPv6 links",
 		time.Since(start).Round(time.Millisecond),
 		len(snap.Hybrids), len(snap.Links4), len(snap.Links6))
 
@@ -79,38 +88,44 @@ func main() {
 	// atomically, so in-flight requests never observe a partial load.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	// Stop then close so the reload goroutine's range loop terminates
+	// with run() — callers of the reusable entry point must not leak a
+	// goroutine per invocation. Stop guarantees no send after return,
+	// so the close cannot race a delivery.
+	defer func() {
+		signal.Stop(hup)
+		close(hup)
+	}()
 	go func() {
 		for range hup {
 			if err := srv.Reload(ctx); err != nil {
-				log.Printf("reload failed (still serving previous snapshot): %v", err)
+				logger.Printf("reload failed (still serving previous snapshot): %v", err)
 				continue
 			}
 			s := srv.Snapshot()
-			log.Printf("reloaded: %d hybrids, %d IPv4 links, %d IPv6 links",
+			logger.Printf("reloaded: %d hybrids, %d IPv4 links, %d IPv6 links",
 				len(s.Hybrids), len(s.Links4), len(s.Links6))
 		}
 	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("serving on http://%s (GET /v1/rel /v1/as/{asn} /v1/hybrids /v1/stats /healthz, POST /v1/reload)", ln.Addr())
+	logger.Printf("serving on http://%s (GET /v1/rel /v1/as/{asn} /v1/hybrids /v1/stats /healthz, POST /v1/reload)", ln.Addr())
 
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down (in-flight requests get %v)...", *grace)
+		logger.Printf("shutting down (in-flight requests get %v)...", *grace)
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		if err := hs.Shutdown(shCtx); err != nil {
-			log.Fatal(err)
-		}
+		return hs.Shutdown(shCtx)
 	}
 }
 
@@ -161,10 +176,10 @@ func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serv
 		return func(ctx context.Context) (*hybridrel.Snapshot, error) {
 			var in hybridrel.Sources
 			var err error
-			if in.MRT4, err = expand(v4List); err != nil {
+			if in.MRT4, err = hybridrel.SourceMRTList(v4List); err != nil {
 				return nil, err
 			}
-			if in.MRT6, err = expand(v6List); err != nil {
+			if in.MRT6, err = hybridrel.SourceMRTList(v6List); err != nil {
 				return nil, err
 			}
 			if irrPath != "" {
@@ -177,22 +192,4 @@ func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serv
 			return hybridrel.CaptureSnapshot(a), nil
 		}, nil
 	}
-}
-
-// expand turns a comma-separated list of files and directories into
-// pipeline sources; inside a directory only *.mrt files are taken.
-func expand(list string) ([]hybridrel.Source, error) {
-	var out []hybridrel.Source
-	for _, p := range strings.Split(list, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		srcs, err := hybridrel.SourceMRT(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, srcs...)
-	}
-	return out, nil
 }

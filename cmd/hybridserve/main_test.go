@@ -1,0 +1,76 @@
+package main
+
+// Smoke tests for the hybridserve CLI: flag errors, mode selection,
+// and exit-on-bad-input, all through the testable run() entry point.
+// (The serving loop itself is covered by internal/serve and the
+// facade's end-to-end test.)
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hybridrel/internal/cli"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("bad flag: err = %v, want cli.ErrUsage", err)
+	}
+	// No mode at all, and conflicting modes, are usage errors.
+	errb.Reset()
+	if err := run(nil, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("no mode: err = %v, want cli.ErrUsage", err)
+	}
+	if !strings.Contains(errb.String(), "exactly one of") {
+		t.Errorf("stderr did not explain mode selection: %q", errb.String())
+	}
+	if err := run([]string{"-snapshot", "a.bin", "-synth", "small"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("two modes: err = %v, want cli.ErrUsage", err)
+	}
+	if err := run([]string{"-v4", "ribs4/"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("pipeline mode without -v6: err = %v, want cli.ErrUsage", err)
+	}
+	if err := run([]string{"-synth", "galactic"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("bad -synth: err = %v, want cli.ErrUsage", err)
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	// A missing snapshot file is a load error, not a usage error.
+	err := run([]string{"-snapshot", "/does/not/exist.snap"}, &out, &errb)
+	if err == nil || errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("missing snapshot: err = %v, want a load error", err)
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("load error does not name the snapshot: %v", err)
+	}
+}
+
+func TestLoaderModes(t *testing.T) {
+	// The loader is the mode selector; every valid mode yields a
+	// LoadFunc and every invalid combination an error.
+	if _, err := loader("", "", "", "", "", 0); err == nil {
+		t.Error("no mode accepted")
+	}
+	if _, err := loader("a.bin", "", "", "", "small", 0); err == nil {
+		t.Error("two modes accepted")
+	}
+	if _, err := loader("", "irr.db", "", "", "", 0); err == nil {
+		t.Error("pipeline mode without archives accepted")
+	}
+	if _, err := loader("", "", "", "", "galactic", 0); err == nil {
+		t.Error("unknown synth scale accepted")
+	}
+	load, err := loader("a.bin", "", "", "", "", 0)
+	if err != nil || load == nil {
+		t.Fatalf("snapshot mode: %v", err)
+	}
+	if _, err := load(context.Background()); err == nil {
+		t.Error("loading a nonexistent snapshot succeeded")
+	}
+}

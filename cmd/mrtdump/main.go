@@ -14,39 +14,46 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
 
 	"hybridrel/internal/bgp"
+	"hybridrel/internal/cli"
 	"hybridrel/internal/mrt"
 	"hybridrel/internal/pipeline"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mrtdump: ")
-	summary := flag.Bool("summary", false, "print per-file record counts only")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mrtdump [-summary] FILE|DIR...")
-		os.Exit(2)
+func main() { cli.Main("mrtdump", run) }
+
+// run is the testable entry point: it parses args, dumps to stdout,
+// and returns instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mrtdump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	summary := fs.Bool("summary", false, "print per-file record counts only")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: mrtdump [-summary] FILE|DIR...")
+		return cli.ErrUsage
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var sources []pipeline.Source
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		srcs, err := pipeline.ExpandMRT(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sources = append(sources, srcs...)
 	}
 	for _, src := range sources {
-		if err := dump(ctx, src, *summary); err != nil {
-			log.Fatal(err)
+		if err := dump(ctx, src, *summary, stdout); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // ctxReader aborts reads once the context is canceled, so Ctrl-C stops
@@ -63,7 +70,7 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 	return c.r.Read(p)
 }
 
-func dump(ctx context.Context, src pipeline.Source, summary bool) error {
+func dump(ctx context.Context, src pipeline.Source, summary bool, out io.Writer) error {
 	f, err := src.Open(ctx)
 	if err != nil {
 		return err
@@ -86,7 +93,7 @@ func dump(ctx context.Context, src pipeline.Source, summary bool) error {
 			counts["peer-index"]++
 			peers = m.Peers
 			if !summary {
-				fmt.Printf("PEER_INDEX_TABLE collector=%s view=%q peers=%d\n",
+				fmt.Fprintf(out, "PEER_INDEX_TABLE collector=%s view=%q peers=%d\n",
 					m.CollectorID, m.ViewName, len(m.Peers))
 			}
 		case *mrt.RIB:
@@ -112,24 +119,24 @@ func dump(ctx context.Context, src pipeline.Source, summary bool) error {
 						line += c.String()
 					}
 				}
-				fmt.Println(line)
+				fmt.Fprintln(out, line)
 			}
 		case *mrt.BGP4MPMessage:
 			counts["bgp4mp"]++
 			if !summary {
 				u, err := m.Update(bgp.Options{ASN4: m.AS4})
 				if err != nil {
-					fmt.Printf("BGP4MP peer=%s (undecodable: %v)\n", m.PeerAS, err)
+					fmt.Fprintf(out, "BGP4MP peer=%s (undecodable: %v)\n", m.PeerAS, err)
 					continue
 				}
-				fmt.Printf("BGP4MP peer=%s path=%s nlri=%v withdrawn=%v\n",
+				fmt.Fprintf(out, "BGP4MP peer=%s path=%s nlri=%v withdrawn=%v\n",
 					m.PeerAS, u.Attrs.EffectivePath(), u.NLRI, u.Withdrawn)
 			}
 		default:
 			counts["other"]++
 		}
 	}
-	fmt.Printf("%s: peer-index=%d rib=%d bgp4mp=%d other=%d\n",
+	fmt.Fprintf(out, "%s: peer-index=%d rib=%d bgp4mp=%d other=%d\n",
 		src.Name(), counts["peer-index"], counts["rib"], counts["bgp4mp"], counts["other"])
 	return nil
 }

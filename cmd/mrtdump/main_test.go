@@ -1,0 +1,94 @@
+package main
+
+// Smoke tests for the mrtdump CLI: flag errors, exit-on-bad-input,
+// and the summary / full dumps over a real archive.
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridrel"
+	"hybridrel/internal/cli"
+)
+
+// archiveOnDisk writes one small-world IPv4 archive to disk.
+func archiveOnDisk(t *testing.T) string {
+	t.Helper()
+	cfg := hybridrel.SmallWorldConfig()
+	cfg.NumASes = 80
+	cfg.NumTier1 = 3
+	cfg.V6OnlyPeerings = 10
+	cfg.NumNoiseLeakers = 1
+	cfg.HubPeerings = 3
+	cfg.NumVantages = 4
+	w, err := hybridrel.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rib.ipv4.mrt")
+	if err := os.WriteFile(path, w.Archives4[0], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("bad flag: err = %v, want cli.ErrUsage", err)
+	}
+	errb.Reset()
+	if err := run([]string{"-summary"}, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("no files: err = %v, want cli.ErrUsage", err)
+	}
+	if err := run([]string{"-h"}, &out, &errb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: err = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("stderr did not print usage: %q", errb.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"/does/not/exist.mrt"}, &out, &errb); err == nil || errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("nonexistent archive: err = %v, want a real error", err)
+	}
+	// A corrupt archive fails with the offset named, not a panic.
+	bad := filepath.Join(t.TempDir(), "bad.mrt")
+	if err := os.WriteFile(bad, []byte("this is not MRT data at all........."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "mrt:") {
+		t.Fatalf("corrupt archive: err = %v, want an mrt decode error", err)
+	}
+}
+
+func TestRunSummaryAndFull(t *testing.T) {
+	path := archiveOnDisk(t)
+
+	var sum, errb bytes.Buffer
+	if err := run([]string{"-summary", path}, &sum, &errb); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if !strings.Contains(sum.String(), "peer-index=1") || !strings.Contains(sum.String(), "rib=") {
+		t.Errorf("summary output unexpected: %q", sum.String())
+	}
+
+	var full bytes.Buffer
+	if err := run([]string{path}, &full, &errb); err != nil {
+		t.Fatalf("full dump: %v", err)
+	}
+	if !strings.Contains(full.String(), "PEER_INDEX_TABLE") || !strings.Contains(full.String(), "RIB ") {
+		t.Errorf("full dump missing record lines")
+	}
+	if full.Len() <= sum.Len() {
+		t.Errorf("full dump (%d bytes) not larger than summary (%d)", full.Len(), sum.Len())
+	}
+}

@@ -160,6 +160,10 @@ func SourceGlob(pattern string) ([]Source, error) { return pipeline.Glob(pattern
 // directory contributes its *.mrt files).
 func SourceMRT(path string) ([]Source, error) { return pipeline.ExpandMRT(path) }
 
+// SourceMRTList resolves a comma-separated list of files and
+// directories into MRT sources; empty elements are ignored.
+func SourceMRTList(list string) ([]Source, error) { return pipeline.ExpandMRTList(list) }
+
 // RunPipeline executes the v2 staged pipeline: concurrent ingest of
 // every archive, parallel per-plane inference, memoized analysis.
 func RunPipeline(ctx context.Context, in Sources, opts ...Option) (*Analysis, error) {

@@ -1,0 +1,52 @@
+// Package cli carries the command-line protocol shared by every
+// cmd/* main: the usage-error sentinel, the exit-code convention, and
+// flag parsing that folds -h/-help into it. Keeping the protocol in
+// one place means a change to the convention lands in every command
+// at once instead of drifting across five copies.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrUsage marks a command-line problem the command has already
+// reported to stderr; Main exits 2 without printing it again.
+var ErrUsage = errors.New("usage error")
+
+// RunFunc is a command's testable entry point: parse args, write
+// results to stdout and progress to stderr, return instead of exiting.
+type RunFunc func(args []string, stdout, stderr io.Writer) error
+
+// Main executes run over the process arguments and converts its error
+// into the exit code: 0 for success and -h/-help, 2 for usage errors,
+// 1 (with "name: err" on stderr) for everything else.
+func Main(name string, run RunFunc) {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// The flag set printed the usage; exit 0 by convention.
+	case errors.Is(err, ErrUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// Parse runs fs.Parse, mapping parse failures (which the flag set has
+// already reported to its output) to ErrUsage and passing -h/-help
+// through as flag.ErrHelp.
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return ErrUsage
+	}
+	return nil
+}

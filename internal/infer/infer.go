@@ -124,6 +124,37 @@ func (t *VoteTable) Resolve() *asrel.Table {
 	return out
 }
 
+// ClassCount is one relationship class's confusion tally, in the
+// canonical Lo→Hi orientation: TP links whose truth and inference both
+// name the class, FP links the inference wrongly assigned to it, FN
+// links of the class the inference missed (assigned elsewhere or left
+// unclassified).
+type ClassCount struct {
+	TP int
+	FP int
+	FN int
+}
+
+// Truth returns the number of graded links whose ground truth is this
+// class (the recall denominator).
+func (c ClassCount) Truth() int { return c.TP + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when the class was never inferred.
+func (c ClassCount) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when the class has no truth links.
+func (c ClassCount) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
 // Score grades an inferred table against ground truth.
 type Score struct {
 	// Total is the number of links graded.
@@ -137,7 +168,24 @@ type Score struct {
 	// that matter for hybrid links.
 	PeerAsTransit int
 	TransitAsPeer int
+	// ByClass holds per-relationship-class confusion counts (P2C, C2P,
+	// P2P, S2S) in the canonical Lo→Hi orientation, so per-class
+	// precision and recall are recoverable, not just the aggregate
+	// accuracy. Nil when no links were graded.
+	ByClass map[asrel.Rel]ClassCount
 }
+
+// Class returns the confusion tally for one relationship class (the
+// zero ClassCount when the class never appeared).
+func (s Score) Class(r asrel.Rel) ClassCount { return s.ByClass[r] }
+
+// Precision returns the precision of one class: of the links inferred
+// as r, the share whose truth is r.
+func (s Score) Precision(r asrel.Rel) float64 { return s.ByClass[r].Precision() }
+
+// Recall returns the recall of one class: of the links whose truth is
+// r, the share inferred as r.
+func (s Score) Recall(r asrel.Rel) float64 { return s.ByClass[r].Recall() }
 
 // Coverage returns Classified/Total.
 func (s Score) Coverage() float64 {
@@ -158,6 +206,14 @@ func (s Score) Accuracy() float64 {
 // ScoreTable grades inferred against truth over the given links.
 func ScoreTable(inferred, truth *asrel.Table, links []asrel.LinkKey) Score {
 	var s Score
+	tally := func(r asrel.Rel, f func(*ClassCount)) {
+		if s.ByClass == nil {
+			s.ByClass = make(map[asrel.Rel]ClassCount, 4)
+		}
+		c := s.ByClass[r]
+		f(&c)
+		s.ByClass[r] = c
+	}
 	for _, k := range links {
 		want := truth.GetKey(k)
 		if !want.Known() {
@@ -166,13 +222,17 @@ func ScoreTable(inferred, truth *asrel.Table, links []asrel.LinkKey) Score {
 		s.Total++
 		got := inferred.GetKey(k)
 		if !got.Known() {
+			tally(want, func(c *ClassCount) { c.FN++ })
 			continue
 		}
 		s.Classified++
 		if got == want {
 			s.Correct++
+			tally(want, func(c *ClassCount) { c.TP++ })
 			continue
 		}
+		tally(want, func(c *ClassCount) { c.FN++ })
+		tally(got, func(c *ClassCount) { c.FP++ })
 		if want == asrel.P2P && got.Transit() {
 			s.PeerAsTransit++
 		}

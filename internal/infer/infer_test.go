@@ -110,3 +110,106 @@ func TestScoreTable(t *testing.T) {
 		t.Error("empty score division")
 	}
 }
+
+func TestScorePerClass(t *testing.T) {
+	truth := asrel.NewTable()
+	truth.Set(1, 2, asrel.P2C)
+	truth.Set(3, 4, asrel.P2C)
+	truth.Set(5, 6, asrel.P2P)
+	truth.Set(7, 8, asrel.P2P)
+	truth.Set(9, 10, asrel.S2S)
+
+	inferred := asrel.NewTable()
+	inferred.Set(1, 2, asrel.P2C)  // TP for p2c
+	inferred.Set(3, 4, asrel.P2P)  // FN for p2c, FP for p2p
+	inferred.Set(5, 6, asrel.P2P)  // TP for p2p
+	inferred.Set(9, 10, asrel.P2C) // FN for s2s, FP for p2c
+	// 7-8 unclassified: FN for p2p, no FP anywhere.
+
+	links := []asrel.LinkKey{
+		asrel.Key(1, 2), asrel.Key(3, 4), asrel.Key(5, 6),
+		asrel.Key(7, 8), asrel.Key(9, 10),
+	}
+	s := ScoreTable(inferred, truth, links)
+
+	if got, want := s.Class(asrel.P2C), (ClassCount{TP: 1, FP: 1, FN: 1}); got != want {
+		t.Errorf("p2c = %+v, want %+v", got, want)
+	}
+	if got, want := s.Class(asrel.P2P), (ClassCount{TP: 1, FP: 1, FN: 1}); got != want {
+		t.Errorf("p2p = %+v, want %+v", got, want)
+	}
+	if got, want := s.Class(asrel.S2S), (ClassCount{FN: 1}); got != want {
+		t.Errorf("s2s = %+v, want %+v", got, want)
+	}
+	if p := s.Precision(asrel.P2C); p != 0.5 {
+		t.Errorf("p2c precision = %v, want 0.5", p)
+	}
+	if r := s.Recall(asrel.P2P); r != 0.5 {
+		t.Errorf("p2p recall = %v, want 0.5", r)
+	}
+	if s.Class(asrel.P2C).Truth() != 2 || s.Class(asrel.S2S).Truth() != 1 {
+		t.Errorf("truth denominators wrong: %+v", s.ByClass)
+	}
+	// A class that never appears divides to zero, not NaN.
+	if s.Precision(asrel.C2P) != 0 || s.Recall(asrel.C2P) != 0 {
+		t.Error("absent class should score 0/0 as 0")
+	}
+
+	// The per-class tallies reconcile with the aggregate counters: every
+	// graded link contributes exactly one TP or one FN.
+	tp, fn := 0, 0
+	for _, c := range s.ByClass {
+		tp += c.TP
+		fn += c.FN
+	}
+	if tp != s.Correct || tp+fn != s.Total {
+		t.Errorf("per-class tallies (tp=%d fn=%d) disagree with aggregate %+v", tp, fn, s)
+	}
+}
+
+func TestScoreEmptyLinkSet(t *testing.T) {
+	truth := asrel.NewTable()
+	truth.Set(1, 2, asrel.P2C)
+	inferred := asrel.NewTable()
+	inferred.Set(1, 2, asrel.P2C)
+
+	s := ScoreTable(inferred, truth, nil)
+	if s.Total != 0 || s.Classified != 0 || s.Correct != 0 {
+		t.Errorf("empty link set scored %+v", s)
+	}
+	if s.ByClass != nil {
+		t.Errorf("empty link set allocated ByClass %v", s.ByClass)
+	}
+	if s.Coverage() != 0 || s.Accuracy() != 0 {
+		t.Error("empty link set divisions should be 0")
+	}
+	if s.Precision(asrel.P2C) != 0 || s.Recall(asrel.P2C) != 0 {
+		t.Error("per-class lookups on a nil map should be 0")
+	}
+}
+
+func TestScoreAllUnclassified(t *testing.T) {
+	truth := asrel.NewTable()
+	truth.Set(1, 2, asrel.P2C)
+	truth.Set(3, 4, asrel.P2P)
+	links := []asrel.LinkKey{asrel.Key(1, 2), asrel.Key(3, 4)}
+
+	s := ScoreTable(asrel.NewTable(), truth, links)
+	if s.Total != 2 || s.Classified != 0 || s.Correct != 0 {
+		t.Errorf("all-unclassified scored %+v", s)
+	}
+	if s.Accuracy() != 0 {
+		t.Errorf("accuracy = %v, want 0 (no NaN)", s.Accuracy())
+	}
+	// Every truth link is a miss for its class; nothing is a false
+	// positive because nothing was inferred.
+	if got, want := s.Class(asrel.P2C), (ClassCount{FN: 1}); got != want {
+		t.Errorf("p2c = %+v, want %+v", got, want)
+	}
+	if got, want := s.Class(asrel.P2P), (ClassCount{FN: 1}); got != want {
+		t.Errorf("p2p = %+v, want %+v", got, want)
+	}
+	if s.Recall(asrel.P2C) != 0 || s.Precision(asrel.P2P) != 0 {
+		t.Error("recall/precision of missed classes should be 0")
+	}
+}

@@ -1,0 +1,126 @@
+package mrt_test
+
+// Native fuzz target for the MRT reader — the first of the three
+// untrusted decoders (MRT, RPSL, snapshot). The committed seed corpus
+// under testdata/fuzz/FuzzReader is generated from a tiny gen world
+// (regenerate with WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus);
+// the inline seeds cover the record-type dispatch edges.
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzReader -fuzztime=30s ./internal/mrt
+//
+// The test lives in the external package so it can borrow the
+// generator/collector stack (which itself imports mrt) for seeds.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridrel/internal/gen"
+	"hybridrel/internal/mrt"
+	"hybridrel/internal/testutil"
+)
+
+// tinyArchives collects a miniature world's MRT archives — real
+// PEER_INDEX_TABLE + RIB records at a size suitable for fuzz seeds.
+func tinyArchives(t testing.TB) *testutil.Archives {
+	t.Helper()
+	cfg := gen.SmallConfig()
+	cfg.NumASes = 48
+	cfg.NumTier1 = 3
+	cfg.V6OnlyPeerings = 8
+	cfg.NumRelaxers = 1
+	cfg.NumNoiseLeakers = 1
+	cfg.HubPeerings = 3
+	cfg.NumVantages = 4
+	in, err := gen.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := testutil.Collect(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+// record assembles one raw MRT record for handcrafted seeds.
+func record(typ, sub uint16, body []byte) []byte {
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint32(hdr[0:4], 1280620800) // 2010-08-01
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], sub)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	return append(hdr, body...)
+}
+
+func FuzzReader(f *testing.F) {
+	arch := tinyArchives(f)
+	for _, a := range append(arch.MRT4, arch.MRT6...) {
+		f.Add(a)
+		// Truncation mid-record and mid-header.
+		f.Add(a[:len(a)/2])
+		f.Add(a[:7])
+	}
+	// Record-type dispatch edges: unknown type (kept raw), BGP4MP with
+	// a short body, an empty peer-index table, a length field pointing
+	// past the body.
+	f.Add(record(99, 7, []byte("opaque")))
+	f.Add(record(16, 1, []byte{0, 1, 0, 2}))
+	f.Add(record(13, 1, []byte{0, 0, 0, 0, 0, 0, 0, 0}))
+	f.Add(record(17, 4, []byte{0, 0, 0, 1}))
+	huge := record(13, 2, nil)
+	binary.BigEndian.PutUint32(huge[8:12], 1<<20)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The reader must never panic on untrusted bytes: it returns
+		// records until the first malformed one, then a descriptive
+		// error (or a clean EOF).
+		r := mrt.NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if err.Error() == "" {
+					t.Fatal("malformed record produced an empty error")
+				}
+				return
+			}
+			if rec.Message == nil {
+				t.Fatal("decoded record carries a nil message")
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus from the
+// tiny generated world. Gated behind WRITE_FUZZ_CORPUS so normal runs
+// never touch the checked-in files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	arch := tinyArchives(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("seed-ipv4-archive", arch.MRT4[0])
+	write("seed-ipv6-archive", arch.MRT6[0])
+	write("seed-ipv4-truncated", arch.MRT4[0][:len(arch.MRT4[0])/3])
+}

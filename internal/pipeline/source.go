@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -140,6 +141,25 @@ func ExpandMRT(path string) ([]Source, error) {
 		return nil, fmt.Errorf("pipeline: no *.mrt files in %s", path)
 	}
 	return srcs, nil
+}
+
+// ExpandMRTList resolves a comma-separated list of files and
+// directories into MRT sources via ExpandMRT; empty elements are
+// ignored.
+func ExpandMRTList(list string) ([]Source, error) {
+	var out []Source
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		srcs, err := ExpandMRT(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, srcs...)
+	}
+	return out, nil
 }
 
 // Readers adapts a v1-style reader slice into one-shot sources named

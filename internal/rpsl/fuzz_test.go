@@ -1,0 +1,120 @@
+package rpsl_test
+
+// Native fuzz target for the RPSL parser — the second untrusted
+// decoder. Beyond "never panic", the target enforces a differential
+// oracle: whatever Parse accepts, Write must serialize such that a
+// second Parse returns the identical objects with nothing skipped.
+// The committed seed corpus under testdata/fuzz/FuzzParse is generated
+// from a tiny gen world's IRR database (regenerate with
+// WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus).
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzParse -fuzztime=30s ./internal/rpsl
+//
+// The test lives in the external package so it can borrow the
+// generator (which itself imports rpsl) for seeds.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybridrel/internal/gen"
+	"hybridrel/internal/rpsl"
+)
+
+// tinyIRR generates a miniature world's RPSL database for seeds.
+func tinyIRR(t testing.TB) []byte {
+	t.Helper()
+	cfg := gen.SmallConfig()
+	cfg.NumASes = 48
+	cfg.NumTier1 = 3
+	cfg.V6OnlyPeerings = 8
+	cfg.NumRelaxers = 1
+	cfg.NumNoiseLeakers = 1
+	cfg.HubPeerings = 3
+	cfg.NumVantages = 4
+	in, err := gen.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.WriteIRR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// roundTripLimit skips the Write oracle for inputs whose accumulated
+// values could exceed the parser's per-line scanner buffer when
+// re-serialized (continuation lines join into one long line).
+const roundTripLimit = 1 << 16
+
+func FuzzParse(f *testing.F) {
+	f.Add(tinyIRR(f))
+	f.Add([]byte("aut-num: AS64500\nas-name: EXAMPLE\nremarks: 64500:100 = customer\n"))
+	f.Add([]byte("aut-num: AS1\nremarks: first\n+ continued\n\naut-num: AS2\nsource: TEST\n"))
+	f.Add([]byte("aut-num: AS1\naut-num: AS2\n\nno colon here\n\naut-num: ASnotanumber\n"))
+	f.Add([]byte(":\n+\n \t\naut-num:AS4294967295\ndescr: a\ndescr: b\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objs, skipped, err := rpsl.Parse(bytes.NewReader(data))
+		if err != nil {
+			// Only scanner-level failures (oversized lines) may error;
+			// they must be descriptive, and never panic.
+			if err.Error() == "" {
+				t.Fatal("Parse returned an empty error")
+			}
+			return
+		}
+		if skipped < 0 {
+			t.Fatalf("negative skip count %d", skipped)
+		}
+		if len(data) > roundTripLimit || len(objs) == 0 {
+			return
+		}
+
+		// Differential oracle: Write(Parse(x)) must re-parse to the
+		// exact same objects, with nothing skipped.
+		var buf bytes.Buffer
+		if err := rpsl.Write(&buf, objs); err != nil {
+			t.Fatalf("Write of parsed objects failed: %v", err)
+		}
+		objs2, skipped2, err := rpsl.Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nserialized:\n%s", err, buf.String())
+		}
+		if skipped2 != 0 {
+			t.Fatalf("re-parse skipped %d objects\nserialized:\n%s", skipped2, buf.String())
+		}
+		if !reflect.DeepEqual(objs, objs2) {
+			t.Fatalf("round trip changed objects:\nbefore %+v\nafter  %+v\nserialized:\n%s",
+				objs, objs2, buf.String())
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus. Gated
+// behind WRITE_FUZZ_CORPUS so normal runs never touch the files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	irr := tinyIRR(t)
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("seed-irr", irr)
+	write("seed-irr-truncated", irr[:len(irr)/3])
+}

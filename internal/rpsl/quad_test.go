@@ -1,0 +1,42 @@
+package rpsl
+
+// Regression test for the quadratic-parse slowdown the first fuzz
+// session surfaced: long continuation runs used to append to the same
+// string repeatedly, turning a ~1 MB adversarial input into multiple
+// seconds of work. Parsing must stay linear.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLinearOnContinuationRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"remarks continuation", "aut-num: AS1\nremarks: start\n" + strings.Repeat("+ xxxxxxxx\n", 90000)},
+		{"descr accumulation", "aut-num: AS1\n" + strings.Repeat("descr: yyyyyyyy\n", 60000)},
+		{"remark churn", "aut-num: AS1\n" + strings.Repeat("remarks: zzzzzzzz\n", 60000)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			start := time.Now()
+			objs, skipped, err := Parse(bytes.NewReader([]byte(c.body)))
+			elapsed := time.Since(start)
+			if err != nil || skipped != 0 || len(objs) != 1 {
+				t.Fatalf("parse: %d objs, %d skipped, err %v", len(objs), skipped, err)
+			}
+			// Linear parsing handles ~1 MB in single-digit milliseconds;
+			// the old quadratic path took seconds. The generous bound
+			// keeps slow CI machines from flaking while still failing
+			// decisively on a quadratic regression.
+			if elapsed > 3*time.Second {
+				t.Fatalf("parsing %d bytes took %v; continuation handling has gone superlinear",
+					len(c.body), elapsed)
+			}
+		})
+	}
+}

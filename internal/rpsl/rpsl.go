@@ -31,6 +31,11 @@ type AutNum struct {
 // and the count of objects skipped as malformed or of other classes.
 // Objects are separated by blank lines; attribute values may continue
 // on lines starting with whitespace or '+'.
+//
+// Continued values (descr fragments, multi-line remarks) accumulate in
+// builders and join once per object, so parsing stays linear in the
+// input size — a plain string append here is quadratic, and real IRR
+// dumps (and fuzzed ones) carry long continuation runs.
 func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -39,7 +44,18 @@ func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
 		cur      *AutNum
 		lastAttr string
 		bad      bool
+		descr    strings.Builder // accumulated descr fragments
+		remark   strings.Builder // the still-open last remark
+		openRem  bool
 	)
+	// endRemark seals the open remark into cur.Remarks.
+	endRemark := func() {
+		if openRem {
+			cur.Remarks = append(cur.Remarks, remark.String())
+		}
+		remark.Reset()
+		openRem = false
+	}
 	flush := func() {
 		if cur == nil {
 			if bad {
@@ -48,9 +64,14 @@ func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
 		} else if bad {
 			skipped++
 		} else {
+			endRemark()
+			cur.Descr = descr.String()
 			objs = append(objs, *cur)
 		}
 		cur, lastAttr, bad = nil, "", false
+		descr.Reset()
+		remark.Reset()
+		openRem = false
 	}
 	appendValue := func(attr, value string) {
 		if cur == nil {
@@ -60,12 +81,21 @@ func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
 		case "as-name":
 			cur.Name = value
 		case "descr":
-			if cur.Descr != "" {
-				cur.Descr += " "
+			// Empty fragments are dropped rather than joined: a space
+			// joined against nothing would give the value leading or
+			// trailing whitespace, which the attribute syntax cannot
+			// represent (Write→Parse would silently trim it).
+			if value == "" {
+				return
 			}
-			cur.Descr += value
+			if descr.Len() > 0 {
+				descr.WriteByte(' ')
+			}
+			descr.WriteString(value)
 		case "remarks":
-			cur.Remarks = append(cur.Remarks, value)
+			endRemark()
+			remark.WriteString(value)
+			openRem = true
 		case "source":
 			cur.Source = value
 		}
@@ -85,10 +115,19 @@ func Parse(r io.Reader) (objs []AutNum, skipped int, err error) {
 		started = true
 		// Continuation line.
 		if line[0] == ' ' || line[0] == '\t' || line[0] == '+' {
-			if lastAttr == "remarks" && cur != nil && len(cur.Remarks) > 0 {
-				cur.Remarks[len(cur.Remarks)-1] += " " + strings.TrimSpace(strings.TrimPrefix(line, "+"))
+			frag := strings.TrimSpace(strings.TrimPrefix(line, "+"))
+			if lastAttr == "remarks" && cur != nil && openRem {
+				// Empty fragments are dropped (see the descr case): a
+				// lone join space cannot survive a Write→Parse round
+				// trip, since attribute values are whitespace-trimmed.
+				if frag != "" {
+					if remark.Len() > 0 {
+						remark.WriteByte(' ')
+					}
+					remark.WriteString(frag)
+				}
 			} else if lastAttr != "" {
-				appendValue(lastAttr, strings.TrimSpace(strings.TrimPrefix(line, "+")))
+				appendValue(lastAttr, frag)
 			}
 			continue
 		}

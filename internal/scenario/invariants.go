@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/core"
+	"hybridrel/internal/pipeline"
+	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
+)
+
+// Invariant names, shared by reports and tests.
+const (
+	InvParallelism = "parallelism-identity"
+	InvRoundTrip   = "snapshot-roundtrip"
+	InvServe       = "serve-accessor-agreement"
+)
+
+// checkInvariants runs the shared differential suite over one
+// scenario's reference analysis: the concurrent pipeline must be
+// byte-identical to the sequential one, the snapshot codec must
+// round-trip to identical bytes, and the serving layer's responses
+// must agree with the Analysis accessors.
+func checkInvariants(ctx context.Context, src pipeline.Sources, a *core.Analysis, parallelism int) []InvariantResult {
+	verdict := func(name string, err error) InvariantResult {
+		r := InvariantResult{Name: name, OK: err == nil}
+		if err != nil {
+			r.Detail = err.Error()
+		}
+		return r
+	}
+	snapBytes, err := encodeSnapshot(snapshot.Capture(a))
+	if err != nil {
+		// Without reference bytes none of the differential checks can
+		// run; report the failure on all three.
+		e := fmt.Errorf("encoding the reference snapshot: %w", err)
+		return []InvariantResult{
+			verdict(InvParallelism, e), verdict(InvRoundTrip, e), verdict(InvServe, e),
+		}
+	}
+	return []InvariantResult{
+		verdict(InvParallelism, checkParallelism(ctx, src, snapBytes, parallelism)),
+		verdict(InvRoundTrip, checkRoundTrip(snapBytes)),
+		verdict(InvServe, checkServe(a)),
+	}
+}
+
+// encodeSnapshot serializes uncompressed, the canonical byte form the
+// differential checks compare.
+func encodeSnapshot(s *snapshot.Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, s, false); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// checkParallelism re-runs the pipeline with a concurrent worker pool
+// and requires its snapshot to be byte-identical to the sequential
+// reference — every derived product, not just headline counters, must
+// be independent of scheduling.
+func checkParallelism(ctx context.Context, src pipeline.Sources, want []byte, parallelism int) error {
+	aN, err := core.RunPipeline(ctx, src, pipeline.WithParallelism(parallelism))
+	if err != nil {
+		return fmt.Errorf("parallel run: %w", err)
+	}
+	got, err := encodeSnapshot(snapshot.Capture(aN))
+	if err != nil {
+		return fmt.Errorf("encoding the parallel snapshot: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("parallelism %d snapshot differs from sequential (%d vs %d bytes)",
+			parallelism, len(got), len(want))
+	}
+	return nil
+}
+
+// checkRoundTrip decodes the reference bytes and re-encodes them; the
+// codec must reproduce the exact same bytes.
+func checkRoundTrip(want []byte) error {
+	s, err := snapshot.Read(bytes.NewReader(want))
+	if err != nil {
+		return fmt.Errorf("decoding: %w", err)
+	}
+	got, err := encodeSnapshot(s)
+	if err != nil {
+		return fmt.Errorf("re-encoding: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("re-encoded snapshot differs (%d vs %d bytes)", len(got), len(want))
+	}
+	return nil
+}
+
+// relSampleLimit bounds the /v1/rel probes per scenario.
+const relSampleLimit = 32
+
+// checkServe loads a fresh snapshot of a into the serving layer and
+// requires the HTTP responses to agree with the Analysis accessors:
+// /v1/stats against the headline statistics, /v1/hybrids against the
+// hybrid list, /v1/rel against the relationship tables, and /healthz
+// against the index sizes.
+func checkServe(a *core.Analysis) error {
+	snap := snapshot.Capture(a)
+	srv := serve.New(snap)
+
+	get := func(url string, out any) error {
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d: %s", url, rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			return fmt.Errorf("GET %s: bad JSON: %w", url, err)
+		}
+		return nil
+	}
+
+	var stats serve.StatsResponse
+	if err := get("/v1/stats", &stats); err != nil {
+		return err
+	}
+	if want := serve.StatsOf(snap); !reflect.DeepEqual(stats, want) {
+		return fmt.Errorf("/v1/stats disagrees with the accessors:\ngot  %+v\nwant %+v", stats, want)
+	}
+
+	var health serve.HealthResponse
+	if err := get("/healthz", &health); err != nil {
+		return err
+	}
+	if health.Hybrids != len(a.Hybrids()) ||
+		health.Links4 != len(snap.Links4) || health.Links6 != len(snap.Links6) {
+		return fmt.Errorf("/healthz counts %+v disagree with the analysis", health)
+	}
+
+	hybrids := a.Hybrids()
+	var page serve.HybridsResponse
+	if err := get(fmt.Sprintf("/v1/hybrids?limit=%d", serve.MaxLimit), &page); err != nil {
+		return err
+	}
+	if page.Total != len(hybrids) {
+		return fmt.Errorf("/v1/hybrids total %d, analysis has %d", page.Total, len(hybrids))
+	}
+	want := serve.HybridsOf(hybrids[:min(len(hybrids), serve.MaxLimit)])
+	if len(want) == 0 {
+		want = []serve.HybridJSON{}
+	}
+	if !reflect.DeepEqual(page.Hybrids, want) {
+		return fmt.Errorf("/v1/hybrids page disagrees with the analysis hybrid list")
+	}
+
+	// Probe /v1/rel over every hybrid link (both orientations) and a
+	// slice of the plain dual-stack population.
+	probe := func(x, y asrel.ASN) error {
+		var rel serve.RelResponse
+		if err := get(fmt.Sprintf("/v1/rel?a=%d&b=%d", x, y), &rel); err != nil {
+			return err
+		}
+		k := asrel.Key(x, y)
+		if rel.V4 != a.Rel4.Get(x, y).String() || rel.V6 != a.Rel6.Get(x, y).String() {
+			return fmt.Errorf("/v1/rel %s: served %s/%s, accessors %s/%s",
+				k, rel.V4, rel.V6, a.Rel4.Get(x, y), a.Rel6.Get(x, y))
+		}
+		if rel.In4 != a.D4.HasLink(k) || rel.In6 != a.D6.HasLink(k) {
+			return fmt.Errorf("/v1/rel %s: plane membership disagrees", k)
+		}
+		if rel.Visibility6 != a.D6.LinkVisibility(k) {
+			return fmt.Errorf("/v1/rel %s: visibility %d, accessor %d",
+				k, rel.Visibility6, a.D6.LinkVisibility(k))
+		}
+		wantClass := asrel.Classify(a.Rel4.GetKey(k), a.Rel6.GetKey(k))
+		isHybrid := wantClass != asrel.NotHybrid && rel.In4 && rel.In6
+		if rel.Hybrid != isHybrid || (isHybrid && rel.Class != wantClass.String()) {
+			return fmt.Errorf("/v1/rel %s: hybrid verdict %v/%q, want %v/%q",
+				k, rel.Hybrid, rel.Class, isHybrid, wantClass)
+		}
+		return nil
+	}
+	probed := 0
+	for _, h := range hybrids {
+		if probed >= relSampleLimit {
+			break
+		}
+		if err := probe(h.Key.Lo, h.Key.Hi); err != nil {
+			return err
+		}
+		if err := probe(h.Key.Hi, h.Key.Lo); err != nil {
+			return err
+		}
+		probed++
+	}
+	for _, l := range snap.Links6 {
+		if probed >= 2*relSampleLimit {
+			break
+		}
+		if err := probe(l.Key.Lo, l.Key.Hi); err != nil {
+			return err
+		}
+		probed++
+	}
+	return nil
+}

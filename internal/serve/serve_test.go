@@ -21,6 +21,7 @@ import (
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
+	"hybridrel/internal/golden"
 	"hybridrel/internal/snapshot"
 	"hybridrel/internal/testutil"
 )
@@ -334,6 +335,11 @@ func TestHybridsEndpoint(t *testing.T) {
 func TestStatsAndHealth(t *testing.T) {
 	a, snap, _ := fixtures(t)
 	srv := New(snap)
+
+	// The served world is the canonical small world; pin it against the
+	// shared golden headline numbers (internal/golden) so
+	// the serve fixture can't drift from the pipeline/snapshot goldens.
+	golden.AssertSmall(t, a)
 
 	var stats StatsResponse
 	if code := get(t, srv, "GET", "/v1/stats", &stats); code != http.StatusOK {

@@ -1,0 +1,124 @@
+package snapshot
+
+// Native fuzz target for snapshot.Read — the third untrusted decoder.
+// Beyond "never panic", the target enforces a differential oracle:
+// whatever Read accepts must re-encode and re-decode to a stable form
+// (Encode(Read(x)) is a fixed point). The committed seed corpus under
+// testdata/fuzz/FuzzRead is generated from a tiny testutil world
+// (regenerate with WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus).
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzRead -fuzztime=30s ./internal/snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridrel/internal/core"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/testutil"
+)
+
+// tinySnapshots encodes a miniature world's snapshot both raw and
+// compressed for fuzz seeds.
+func tinySnapshots(t testing.TB) (raw, gz []byte) {
+	t.Helper()
+	cfg := gen.SmallConfig()
+	cfg.NumASes = 48
+	cfg.NumTier1 = 3
+	cfg.V6OnlyPeerings = 8
+	cfg.NumRelaxers = 1
+	cfg.NumNoiseLeakers = 1
+	cfg.HubPeerings = 3
+	cfg.NumVantages = 4
+	w, err := testutil.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Capture(core.Analyze(w.D4, w.D6, w.Dict, core.DefaultOptions()))
+	var rawBuf, gzBuf bytes.Buffer
+	if err := Encode(&rawBuf, s, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&gzBuf, s, true); err != nil {
+		t.Fatal(err)
+	}
+	return rawBuf.Bytes(), gzBuf.Bytes()
+}
+
+func FuzzRead(f *testing.F) {
+	raw, gz := tinySnapshots(f)
+	f.Add(raw)
+	f.Add(gz)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:7])
+	f.Add([]byte("HYBS\x00\x01\x00"))
+	f.Add([]byte("not a snapshot at all"))
+	// An empty-but-valid payload: zero counts for every section.
+	empty := &Snapshot{}
+	var emptyBuf bytes.Buffer
+	if err := Encode(&emptyBuf, empty, false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(emptyBuf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			// Malformed input must produce a descriptive error, never a
+			// panic (the call above) and never a partial snapshot.
+			if err.Error() == "" {
+				t.Fatal("Read returned an empty error")
+			}
+			return
+		}
+		if s == nil || s.Rel4 == nil || s.Rel6 == nil {
+			t.Fatal("accepted snapshot has nil tables")
+		}
+
+		// Differential oracle: an accepted snapshot re-encodes, and the
+		// re-encoded bytes decode to a snapshot that re-encodes to the
+		// same bytes — the codec is a fixed point on its own output.
+		var first bytes.Buffer
+		if err := Encode(&first, s, false); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		s2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded snapshot failed: %v", err)
+		}
+		var second bytes.Buffer
+		if err := Encode(&second, s2, false); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("codec is not a fixed point: %d vs %d bytes", first.Len(), second.Len())
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus. Gated
+// behind WRITE_FUZZ_CORPUS so normal runs never touch the files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	raw, gz := tinySnapshots(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("seed-raw", raw)
+	write("seed-gzip", gz)
+	write("seed-raw-truncated", raw[:len(raw)/3])
+}

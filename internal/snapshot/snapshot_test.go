@@ -18,6 +18,7 @@ import (
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
+	"hybridrel/internal/golden"
 	"hybridrel/internal/testutil"
 )
 
@@ -113,10 +114,12 @@ func TestCompressionActuallyShrinks(t *testing.T) {
 	}
 }
 
-// TestGoldenDecodedHeadlines pins that a decoded snapshot reports the
-// same headline numbers as the live pipeline's accessors.
+// TestGoldenDecodedHeadlines pins the shared golden headline numbers
+// (internal/golden) and that a decoded snapshot reports the
+// same numbers as the live pipeline's accessors.
 func TestGoldenDecodedHeadlines(t *testing.T) {
 	a := analysis(t)
+	golden.AssertSmall(t, a)
 	var buf bytes.Buffer
 	if err := Write(&buf, a); err != nil {
 		t.Fatal(err)

@@ -41,9 +41,56 @@ func BuildWorld(cfg gen.Config) (*World, error) {
 }
 
 // AssembleWorld runs collection and ingestion over an existing Internet
-// with the given number of collectors.
+// with the given number of collectors. The serialization goes through
+// Collect, so every consumer of this package observes the exact same
+// archive bytes.
 func AssembleWorld(in *gen.Internet, collectors int) (*World, error) {
+	arch, err := Collect(in, collectors)
+	if err != nil {
+		return nil, err
+	}
 	w := &World{In: in}
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		archives := arch.MRT4
+		if af == asrel.IPv6 {
+			archives = arch.MRT6
+		}
+		d := dataset.New(af)
+		for _, b := range archives {
+			if err := d.AddMRT(bytes.NewReader(b)); err != nil {
+				return nil, fmt.Errorf("testutil: ingest %s: %w", af, err)
+			}
+		}
+		if af == asrel.IPv6 {
+			w.D6 = d
+		} else {
+			w.D4 = d
+		}
+	}
+	objs, _, err := rpsl.Parse(bytes.NewReader(arch.IRR))
+	if err != nil {
+		return nil, err
+	}
+	w.Dict = community.FromIRR(objs)
+	return w, nil
+}
+
+// Archives are the serialized measurement artifacts of an Internet:
+// one MRT archive per collector and plane, plus the IRR database —
+// the bytes a pipeline run ingests. (This package stays free of the
+// pipeline dependency so inference-package tests can import it; wrap
+// the bytes with pipeline.Bytes to build pipeline.Sources.)
+type Archives struct {
+	MRT4 [][]byte
+	MRT6 [][]byte
+	IRR  []byte
+}
+
+// Collect serializes an existing Internet through the same byte-level
+// observation path AssembleWorld takes — per-collector MRT dumps and
+// the RPSL IRR dump — and returns the raw archive bytes.
+func Collect(in *gen.Internet, collectors int) (*Archives, error) {
+	out := &Archives{}
 	cols := collector.Assign(in, collectors)
 	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
 		bufs := make([]*bytes.Buffer, len(cols))
@@ -55,26 +102,18 @@ func AssembleWorld(in *gen.Internet, collectors int) (*World, error) {
 		if err := collector.DumpAll(in, af, cols, ws, DumpTime); err != nil {
 			return nil, fmt.Errorf("testutil: dump %s: %w", af, err)
 		}
-		d := dataset.New(af)
 		for _, b := range bufs {
-			if err := d.AddMRT(bytes.NewReader(b.Bytes())); err != nil {
-				return nil, fmt.Errorf("testutil: ingest %s: %w", af, err)
+			if af == asrel.IPv6 {
+				out.MRT6 = append(out.MRT6, b.Bytes())
+			} else {
+				out.MRT4 = append(out.MRT4, b.Bytes())
 			}
-		}
-		if af == asrel.IPv6 {
-			w.D6 = d
-		} else {
-			w.D4 = d
 		}
 	}
 	var irr bytes.Buffer
 	if err := in.WriteIRR(&irr); err != nil {
 		return nil, err
 	}
-	objs, _, err := rpsl.Parse(&irr)
-	if err != nil {
-		return nil, err
-	}
-	w.Dict = community.FromIRR(objs)
-	return w, nil
+	out.IRR = irr.Bytes()
+	return out, nil
 }

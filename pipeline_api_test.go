@@ -19,6 +19,7 @@ import (
 	"hybridrel/internal/community"
 	"hybridrel/internal/core"
 	"hybridrel/internal/dataset"
+	"hybridrel/internal/golden"
 	"hybridrel/internal/rpsl"
 )
 
@@ -87,34 +88,11 @@ func TestGoldenSmallWorld(t *testing.T) {
 	}
 	seed := seedSequential(t, world)
 
-	// Golden headline numbers of SmallWorldConfig() (seed 42, two
-	// collectors). These pin the whole methodology: any change to
-	// ingest, inference, or the join shows up here.
-	cov := seed.Coverage()
-	wantCov := Coverage{
-		Paths6: 3765, Links6: 333, Links4: 1169, DualStack: 208,
-		Classified6: 242, ClassifiedDual: 146, ClassifiedDualBoth: 144,
-	}
-	if cov != wantCov {
-		t.Errorf("coverage = %+v, want %+v", cov, wantCov)
-	}
-	census := seed.HybridCensus()
-	if census.Hybrid != 23 || census.DualClassified != 144 {
-		t.Errorf("census = %d/%d, want 23/144", census.Hybrid, census.DualClassified)
-	}
-	wantByClass := map[HybridClass]int{
-		HybridPeerTransit: 15, HybridTransitPeer: 7, HybridReversed: 1,
-	}
-	if !reflect.DeepEqual(census.ByClass, wantByClass) {
-		t.Errorf("class split = %v, want %v", census.ByClass, wantByClass)
-	}
-	if v := seed.HybridVisibility(); v.Paths != 3765 || v.PathsWithHybrid != 1353 {
-		t.Errorf("visibility = %d/%d, want 1353/3765", v.PathsWithHybrid, v.Paths)
-	}
-	st := seed.ValleyReport()
-	if st.Valley != 505 || st.ValleyFree != 1753 || st.Unclassified != 1507 || st.Necessary != 192 {
-		t.Errorf("valley = %+v, want 505 valley / 1753 free / 1507 unclassified / 192 necessary", st)
-	}
+	// The golden headline numbers live in internal/golden,
+	// shared with the snapshot and serve golden tests. They pin the
+	// whole methodology: any change to ingest, inference, or the join
+	// shows up here.
+	golden.AssertSmall(t, seed)
 
 	// The v1 wrapper and the v2 pipeline must be indistinguishable from
 	// the sequential seed path.
