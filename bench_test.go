@@ -350,6 +350,59 @@ func BenchmarkAnalysisDerivedProducts(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinMap and BenchmarkJoinFlat compare the dual-stack join
+// over the two topology representations on the same world: the seed's
+// sort-and-probe over map link sets versus the interned two-pointer
+// sweep over the frozen flat indexes. The map indexes are pre-built
+// outside the timed loop, so only the join itself is measured.
+func BenchmarkJoinMap(b *testing.B) {
+	_, a := benchSetup(b)
+	m4, m6 := a.D4.LinkMap(), a.D6.LinkMap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.LegacyDualStack(m4, m6) == nil {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkJoinFlat(b *testing.B) {
+	_, a := benchSetup(b)
+	a.D4.Flat() // freeze outside the timed loop, like the maps above
+	a.D6.Flat()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dataset.DualStack(a.D4, a.D6) == nil {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkInferenceMap and BenchmarkInferenceFlat compare the full
+// derived-product recomputation — join, hybrid detection, coverage —
+// between the legacy map-probing algorithms and the interned sweeps.
+func BenchmarkInferenceMap(b *testing.B) {
+	_, a := benchSetup(b)
+	m4, m6 := a.D4.LinkMap(), a.D6.LinkMap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hyb, _ := a.LegacyProducts(m4, m6); len(hyb) == 0 {
+			b.Fatal("no hybrids")
+		}
+	}
+}
+
+func BenchmarkInferenceFlat(b *testing.B) {
+	_, a := benchSetup(b)
+	a.Hybrids() // freeze the flat tables and link indexes once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hyb, _ := a.ComputeProducts(); len(hyb) == 0 {
+			b.Fatal("no hybrids")
+		}
+	}
+}
+
 // BenchmarkWorldSynthesis generates and collects a small world per
 // iteration (topology, policies, propagation, MRT serialization).
 func BenchmarkWorldSynthesis(b *testing.B) {

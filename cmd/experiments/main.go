@@ -17,10 +17,20 @@
 // against the planted truth, with the differential invariant suite.
 // The command exits non-zero if any invariant fails.
 //
+// With -bench the hot-path benchmark suite (internal/benchkit) runs
+// instead: ingest, the dual-stack join and inference derived products
+// in both the interned and the legacy map representation, the
+// snapshot codec, and the serving layer's per-AS endpoint. Results are
+// written to -benchout (BENCH_PR4.json by default) — the perf
+// trajectory CI uploads on every change — and printed as a table (or
+// to stdout as JSON with -json). -benchtime accepts a duration or
+// "1x" for the single-iteration CI smoke mode.
+//
 // Usage:
 //
 //	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact] [-json]
 //	experiments -scenarios [-tier short|full] [-parallel N] [-json]
+//	experiments -bench [-tier short|full] [-scenario name] [-benchtime 1s|1x] [-benchout file] [-json]
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 
 	"hybridrel"
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/benchkit"
 	"hybridrel/internal/cli"
 	"hybridrel/internal/core"
 	"hybridrel/internal/infer"
@@ -63,7 +74,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
 		jsonOut   = fs.Bool("json", false, "print machine-readable JSON instead of tables")
 		scenarios = fs.Bool("scenarios", false, "run the scenario validation matrix instead of the paper tables")
-		tier      = fs.String("tier", "short", "scenario matrix tier: short | full")
+		tier      = fs.String("tier", "short", "scenario matrix / benchmark tier: short | full")
+		bench     = fs.Bool("bench", false, "run the hot-path benchmark suite instead of the paper tables")
+		benchTime = fs.String("benchtime", "1s", "per-benchmark time budget (duration, or 1x for one iteration)")
+		benchOut  = fs.String("benchout", "BENCH_PR4.json", "file the benchmark report is written to")
+		scName    = fs.String("scenario", "tunnel-heavy", "scenario family the benchmarks run against")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -72,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *bench {
+		return runBench(ctx, *tier, *scName, *benchTime, *benchOut, *jsonOut, stdout, logger)
+	}
 	if *scenarios {
 		return runScenarios(ctx, *tier, *parallel, *jsonOut, stdout, logger)
 	}
@@ -132,6 +150,82 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return x1(stdout, w, a)
+}
+
+// parseTier maps the -tier flag onto scenario tiers.
+func parseTier(tier string) (scenario.Tier, error) {
+	switch tier {
+	case "short":
+		return scenario.TierShort, nil
+	case "full":
+		return scenario.TierFull, nil
+	}
+	return 0, fmt.Errorf("unknown -tier %q (want short or full)", tier)
+}
+
+// runBench executes the benchmark suite and writes the report to
+// benchOut plus stdout (table, or JSON with -json).
+func runBench(ctx context.Context, tier, scName, benchTime, benchOut string, jsonOut bool, stdout io.Writer, logger *log.Logger) error {
+	t, err := parseTier(tier)
+	if err != nil {
+		return err
+	}
+	opt := benchkit.Options{Scenario: scName, Tier: t}
+	if benchTime == "1x" {
+		opt.Once = true
+	} else {
+		d, err := time.ParseDuration(benchTime)
+		if err != nil {
+			return fmt.Errorf("invalid -benchtime %q (want a duration or 1x)", benchTime)
+		}
+		opt.Benchtime = d
+	}
+	start := time.Now()
+	logger.Printf("benchmarking %s scenario (%s tier, benchtime %s)...", scName, tier, benchTime)
+	rep, err := benchkit.Run(ctx, opt)
+	if err != nil {
+		return err
+	}
+	logger.Printf("suite done in %v", time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Printf("report written to %s", benchOut)
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("hot-path benchmarks — %s scenario, %s tier (%d dual-stack links)",
+			rep.Scenario, rep.Tier, rep.World.DualStack),
+		"benchmark", "iters", "ns/op", "allocs/op", "B/op")
+	for _, r := range rep.Results {
+		tb.Row(r.Name, r.Iters, fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.1f", r.AllocsPerOp), fmt.Sprintf("%.0f", r.BytesPerOp))
+	}
+	if err := tb.Write(stdout); err != nil {
+		return err
+	}
+	cmp := report.NewTable("interned vs map baseline (targets: ≥2× speed, ≤0.7× allocs)",
+		"comparison", "speedup", "alloc ratio", "targets met")
+	for _, c := range rep.Comparisons {
+		cmp.Row(c.Name, fmt.Sprintf("%.2fx", c.Speedup),
+			fmt.Sprintf("%.2fx", c.AllocRatio), c.MeetsTargets)
+	}
+	return cmp.Write(stdout)
 }
 
 // runScenarios executes the validation matrix and renders it as JSON

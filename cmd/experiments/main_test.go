@@ -10,10 +10,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"hybridrel/internal/benchkit"
 	"hybridrel/internal/cli"
 	"hybridrel/internal/golden"
 	"hybridrel/internal/scenario"
@@ -40,6 +43,67 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-scenarios", "-tier", "bogus"}, &out, &errb); err == nil ||
 		!strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("bad -tier: err = %v, want named error", err)
+	}
+	if err := run([]string{"-bench", "-benchtime", "soon"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "soon") {
+		t.Fatalf("bad -benchtime: err = %v, want named error", err)
+	}
+	if err := run([]string{"-bench", "-scenario", "no-such-family", "-benchtime", "1x"}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "no-such-family") {
+		t.Fatalf("bad -scenario: err = %v, want named error", err)
+	}
+}
+
+// TestRunBenchSmoke runs the benchmark suite in its CI smoke mode (one
+// iteration per benchmark, short tier) and pins the report schema: the
+// JSON written to -benchout must decode into a benchkit.Report whose
+// suite covers both representations of the join and inference paths.
+func TestRunBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke builds a scenario world; skipped under -short")
+	}
+	outFile := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "-benchtime", "1x", "-benchout", outFile, "-json"}, &out, &errb); err != nil {
+		t.Fatalf("run -bench: %v (stderr: %s)", err, errb.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("benchout not written: %v", err)
+	}
+	var rep benchkit.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("benchout is not a benchkit report: %v", err)
+	}
+	// Stdout (-json) carries the same document.
+	var stdoutRep benchkit.Report
+	if err := json.Unmarshal(out.Bytes(), &stdoutRep); err != nil {
+		t.Fatalf("-json stdout is not a benchkit report: %v", err)
+	}
+	names := make(map[string]bool, len(rep.Results))
+	for _, r := range rep.Results {
+		names[r.Name] = true
+		if r.Iters != 1 {
+			t.Errorf("%s: %d iters in 1x mode, want 1", r.Name, r.Iters)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op", r.Name)
+		}
+	}
+	for _, want := range []string{
+		"ingest/sequential", "join/map", "join/flat",
+		"inference/map", "inference/flat",
+		"snapshot/encode", "snapshot/decode", "serve/as",
+	} {
+		if !names[want] {
+			t.Errorf("benchmark %s missing from the suite", want)
+		}
+	}
+	if len(rep.Comparisons) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (join, inference)", len(rep.Comparisons))
+	}
+	if rep.Scenario != "tunnel-heavy" || rep.World.DualStack == 0 {
+		t.Errorf("report world looks wrong: %+v", rep.World)
 	}
 }
 
@@ -98,7 +162,7 @@ func TestRunScenariosJSON(t *testing.T) {
 		t.Fatalf("matrix reported %d scenarios, want >= 6", len(results))
 	}
 	for _, r := range results {
-		if len(r.Invariants) != 3 || !(&r).InvariantsOK() {
+		if len(r.Invariants) != 4 || !(&r).InvariantsOK() {
 			t.Errorf("%s: invariants %+v", r.Name, r.Invariants)
 		}
 		if len(r.Planes) != 2 {

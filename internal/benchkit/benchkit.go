@@ -1,0 +1,358 @@
+// Package benchkit is the self-contained benchmark suite behind
+// `experiments -bench`: it builds one scenario world (tunnel-heavy by
+// default — the regime with the largest per-plane link sets relative
+// to its dual-stack join), runs every hot-path benchmark against it,
+// and reports ns/op with per-op allocation counts as machine-readable
+// JSON (the BENCH_*.json trajectory CI uploads on every change).
+//
+// The suite measures both topology representations in the same run —
+// the interned flat-table/CSR core the repository now runs on and the
+// map-based algorithms it replaced (kept alive in core's legacy
+// reference file) — so the interned path's speedup and allocation
+// savings are always quantified against the exact baseline it
+// displaced, on the exact same world, in the exact same process.
+//
+// The harness is deliberately not `go test -bench`: cmd/experiments
+// must run it from a plain binary with a controllable per-benchmark
+// time budget (-benchtime=1x for the CI smoke job), so it carries its
+// own measurement loop: warm-up, then doubling batches until the time
+// budget is spent, with allocations read from runtime.MemStats deltas.
+package benchkit
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/core"
+	"hybridrel/internal/dataset"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/pipeline"
+	"hybridrel/internal/scenario"
+	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
+	"hybridrel/internal/testutil"
+)
+
+// Targets for the interned-vs-map comparisons, as stated in the PR
+// that introduced the interned core: at least 2× faster and at least
+// 30% fewer allocations per op on inference and the dual-stack join.
+const (
+	TargetSpeedup    = 2.0
+	TargetAllocRatio = 0.7
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Scenario names the world regime (default "tunnel-heavy").
+	Scenario string
+	// Tier selects the world size (scenario.TierShort / TierFull).
+	Tier scenario.Tier
+	// Benchtime is the per-benchmark time budget (default 1s).
+	Benchtime time.Duration
+	// Once runs every benchmark exactly once (-benchtime=1x): the CI
+	// smoke mode that proves the suite builds and runs.
+	Once bool
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Comparison relates an interned benchmark to its map-based baseline
+// from the same run.
+type Comparison struct {
+	Name             string  `json:"name"`
+	Baseline         string  `json:"baseline"`
+	Interned         string  `json:"interned"`
+	Speedup          float64 `json:"speedup"`
+	AllocRatio       float64 `json:"alloc_ratio"`
+	TargetSpeedup    float64 `json:"target_speedup"`
+	TargetAllocRatio float64 `json:"target_alloc_ratio"`
+	MeetsTargets     bool    `json:"meets_targets"`
+}
+
+// Report is the full suite output, serialized to BENCH_*.json.
+type Report struct {
+	Scenario    string       `json:"scenario"`
+	Tier        string       `json:"tier"`
+	Benchtime   string       `json:"benchtime"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	World       WorldInfo    `json:"world"`
+	Results     []Result     `json:"results"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+// WorldInfo records the benchmarked world's scale, so trajectory
+// comparisons across PRs know what they are comparing.
+type WorldInfo struct {
+	ASes      int `json:"ases"`
+	Links4    int `json:"links4"`
+	Links6    int `json:"links6"`
+	DualStack int `json:"dual_stack"`
+	Hybrids   int `json:"hybrids"`
+}
+
+// MeetsTargets reports whether every comparison met its targets.
+func (r *Report) MeetsTargets() bool {
+	for _, c := range r.Comparisons {
+		if !c.MeetsTargets {
+			return false
+		}
+	}
+	return true
+}
+
+// measure runs fn in doubling batches until the time budget is spent
+// (or exactly once in Once mode), reading allocation counters around
+// each batch.
+func measure(name string, opt Options, fn func()) Result {
+	budget := opt.Benchtime
+	if budget <= 0 {
+		budget = time.Second
+	}
+	runBatch := func(n int) (time.Duration, uint64, uint64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	}
+	var (
+		iters   int
+		elapsed time.Duration
+		mallocs uint64
+		alloced uint64
+	)
+	if opt.Once {
+		elapsed, mallocs, alloced = runBatch(1)
+		iters = 1
+	} else {
+		fn() // warm-up: populate caches, page in the world
+		batch := 1
+		for elapsed < budget {
+			e, m, b := runBatch(batch)
+			elapsed += e
+			mallocs += m
+			alloced += b
+			iters += batch
+			if batch < 1<<20 {
+				batch *= 2
+			}
+		}
+	}
+	return Result{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(mallocs) / float64(iters),
+		BytesPerOp:  float64(alloced) / float64(iters),
+	}
+}
+
+// Run executes the whole suite.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	if opt.Scenario == "" {
+		opt.Scenario = "tunnel-heavy"
+	}
+	sc, err := scenario.Find(opt.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sc.Config(opt.Tier)
+	in, err := gen.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	arch, err := testutil.Collect(in, sc.Collectors)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	var src pipeline.Sources
+	for i, b := range arch.MRT4 {
+		src.MRT4 = append(src.MRT4, pipeline.Bytes(fmt.Sprintf("ipv4/collector%02d", i), b))
+	}
+	for i, b := range arch.MRT6 {
+		src.MRT6 = append(src.MRT6, pipeline.Bytes(fmt.Sprintf("ipv6/collector%02d", i), b))
+	}
+	src.IRR = pipeline.Bytes("irr", arch.IRR)
+
+	a, err := core.RunPipeline(ctx, src)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	// Force every lazily-built structure once, so the benchmarks below
+	// measure steady-state queries, not first-touch construction.
+	snap := snapshot.Capture(a)
+	m4, m6 := a.D4.LinkMap(), a.D6.LinkMap()
+
+	report := &Report{
+		Scenario:  opt.Scenario,
+		Tier:      opt.Tier.String(),
+		Benchtime: benchtimeLabel(opt),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		World: WorldInfo{
+			ASes:      len(in.Order),
+			Links4:    a.D4.NumLinks(),
+			Links6:    a.D6.NumLinks(),
+			DualStack: a.Coverage().DualStack,
+			Hybrids:   len(a.Hybrids()),
+		},
+	}
+
+	add := func(name string, fn func()) {
+		report.Results = append(report.Results, measure(name, opt, fn))
+	}
+
+	// Ingest: full archive decode into the flat-accumulating datasets.
+	add("ingest/sequential", func() {
+		d4 := dataset.New(asrel.IPv4)
+		for _, b := range arch.MRT4 {
+			if err := d4.AddMRT(bytes.NewReader(b)); err != nil {
+				panic(err)
+			}
+		}
+		d6 := dataset.New(asrel.IPv6)
+		for _, b := range arch.MRT6 {
+			if err := d6.AddMRT(bytes.NewReader(b)); err != nil {
+				panic(err)
+			}
+		}
+		if d6.NumLinks() == 0 {
+			panic("empty ingest")
+		}
+	})
+
+	// Dual-stack join: the seed's sort-and-probe over map link sets
+	// versus the interned two-pointer sweep over the frozen indexes.
+	add("join/map", func() {
+		if core.LegacyDualStack(m4, m6) == nil {
+			panic("empty join")
+		}
+	})
+	add("join/flat", func() {
+		if dataset.DualStack(a.D4, a.D6) == nil {
+			panic("empty join")
+		}
+	})
+
+	// Inference derived products: join + hybrid detection + coverage,
+	// map-probing versus flat sweeps.
+	add("inference/map", func() {
+		_, hyb, cov := a.LegacyProducts(m4, m6)
+		if len(hyb) == 0 || cov.DualStack == 0 {
+			panic("empty products")
+		}
+	})
+	add("inference/flat", func() {
+		_, hyb, cov := a.ComputeProducts()
+		if len(hyb) == 0 || cov.DualStack == 0 {
+			panic("empty products")
+		}
+	})
+
+	// Snapshot codec over the interned tables (uncompressed: the codec
+	// itself, not gzip).
+	var encoded bytes.Buffer
+	if err := snapshot.Encode(&encoded, snap, false); err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	add("snapshot/encode", func() {
+		if err := snapshot.Encode(io.Discard, snap, false); err != nil {
+			panic(err)
+		}
+	})
+	add("snapshot/decode", func() {
+		if _, err := snapshot.Read(bytes.NewReader(encoded.Bytes())); err != nil {
+			panic(err)
+		}
+	})
+
+	// Serving: the indexed per-AS view over the CSR-sliced state.
+	srv := serve.New(snap)
+	asns := make([]asrel.ASN, 0, 64)
+	a.D6.EachLink(func(k asrel.LinkKey, _ int) {
+		if len(asns) < 64 {
+			asns = append(asns, k.Lo)
+		}
+	})
+	var asCursor int
+	add("serve/as", func() {
+		asn := asns[asCursor%len(asns)]
+		asCursor++
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/as/%d", asn), nil)
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			panic(fmt.Sprintf("GET /v1/as/%d: %d", asn, rec.Code))
+		}
+	})
+
+	report.Comparisons = compare(report.Results)
+	return report, nil
+}
+
+func benchtimeLabel(opt Options) string {
+	if opt.Once {
+		return "1x"
+	}
+	if opt.Benchtime <= 0 {
+		return time.Second.String()
+	}
+	return opt.Benchtime.String()
+}
+
+// compare pairs the interned benchmarks with their map baselines.
+func compare(results []Result) []Comparison {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var out []Comparison
+	for _, pair := range []struct{ name, baseline, interned string }{
+		{"join", "join/map", "join/flat"},
+		{"inference", "inference/map", "inference/flat"},
+	} {
+		base, okB := byName[pair.baseline]
+		flat, okF := byName[pair.interned]
+		if !okB || !okF {
+			continue
+		}
+		c := Comparison{
+			Name:             pair.name,
+			Baseline:         pair.baseline,
+			Interned:         pair.interned,
+			TargetSpeedup:    TargetSpeedup,
+			TargetAllocRatio: TargetAllocRatio,
+		}
+		if flat.NsPerOp > 0 {
+			c.Speedup = base.NsPerOp / flat.NsPerOp
+		}
+		if base.AllocsPerOp > 0 {
+			c.AllocRatio = flat.AllocsPerOp / base.AllocsPerOp
+		}
+		c.MeetsTargets = c.Speedup >= c.TargetSpeedup && c.AllocRatio <= c.TargetAllocRatio
+		out = append(out, c)
+	}
+	return out
+}

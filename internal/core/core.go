@@ -19,6 +19,7 @@ import (
 	"hybridrel/internal/dataset"
 	communityinfer "hybridrel/internal/infer/communities"
 	"hybridrel/internal/infer/locpref"
+	"hybridrel/internal/intern"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/stats"
 	"hybridrel/internal/topology"
@@ -77,19 +78,57 @@ type Analysis struct {
 
 	// memo caches the derived products behind once-guards.
 	memo struct {
-		dualOnce   sync.Once
-		dual       []asrel.LinkKey
-		hybOnce    sync.Once
-		hybrids    []HybridLink
-		covOnce    sync.Once
-		coverage   Coverage
-		censusOnce sync.Once
-		census     HybridCensus
-		visOnce    sync.Once
-		visibility Visibility
-		valOnce    sync.Once
-		valley     valley.Stats
+		flatOnce     sync.Once
+		flat4, flat6 *intern.Table
+		dualOnce     sync.Once
+		dual         []asrel.LinkKey
+		hybOnce      sync.Once
+		hybrids      []HybridLink
+		covOnce      sync.Once
+		coverage     Coverage
+		censusOnce   sync.Once
+		census       HybridCensus
+		visOnce      sync.Once
+		visibility   Visibility
+		valOnce      sync.Once
+		valley       valley.Stats
 	}
+}
+
+// flatTables builds the interned flat form of the merged relationship
+// tables — the representation every derived-product sweep and the
+// snapshot codec operate on. The per-plane inference components are
+// frozen individually and merged with the two-pointer intern.Merge
+// (communities win, LocPrf fills the gaps — the same overlay the
+// map-based merge applies to Rel4/Rel6); the interned-equivalence
+// invariant holds the two merge implementations identical on every
+// scenario family. An Analysis without inference components (none are
+// built today) would fall back to freezing the merged map tables.
+func (a *Analysis) flatTables() (f4, f6 *intern.Table) {
+	a.memo.flatOnce.Do(func() {
+		if a.Comm4 != nil && a.Loc4 != nil && a.Comm6 != nil && a.Loc6 != nil {
+			a.memo.flat4 = intern.Merge(intern.FromTable(a.Comm4.Table), intern.FromTable(a.Loc4.Table))
+			a.memo.flat6 = intern.Merge(intern.FromTable(a.Comm6.Table), intern.FromTable(a.Loc6.Table))
+			return
+		}
+		a.memo.flat4 = intern.FromTable(a.Rel4)
+		a.memo.flat6 = intern.FromTable(a.Rel6)
+	})
+	return a.memo.flat4, a.memo.flat6
+}
+
+// Flat4 returns the frozen IPv4 relationship table. It is identical in
+// content to Rel4; hot paths prefer it for cache-friendly lookups and
+// in-order iteration.
+func (a *Analysis) Flat4() *intern.Table {
+	f4, _ := a.flatTables()
+	return f4
+}
+
+// Flat6 returns the frozen IPv6 relationship table.
+func (a *Analysis) Flat6() *intern.Table {
+	_, f6 := a.flatTables()
+	return f6
 }
 
 // Run executes the full pipeline from raw inputs. It is the v1
@@ -182,30 +221,38 @@ func (c Coverage) Share6() float64 { return stats.Ratio(c.Classified6, c.Links6)
 // ShareDual returns ClassifiedDual/DualStack (the paper's 81%).
 func (c Coverage) ShareDual() float64 { return stats.Ratio(c.ClassifiedDual, c.DualStack) }
 
-// Coverage computes the dataset summary (cached after the first call).
-func (a *Analysis) Coverage() Coverage {
-	a.memo.covOnce.Do(func() {
-		c := Coverage{
-			Paths6: a.D6.NumUniquePaths(),
-			Links6: a.D6.NumLinks(),
-			Links4: a.D4.NumLinks(),
-		}
-		for _, k := range a.dualStack() {
-			c.DualStack++
-			rel6 := a.Rel6.GetKey(k).Known()
-			if rel6 {
-				c.ClassifiedDual++
-			}
-			if rel6 && a.Rel4.GetKey(k).Known() {
+// computeCoverage builds the dataset summary from the interned flat
+// representation: one sweep over the dual-stack join against both
+// frozen tables, one sweep over the IPv6 link index against the frozen
+// IPv6 table. No hash probes anywhere.
+func (a *Analysis) computeCoverage(dual []asrel.LinkKey) Coverage {
+	f4, f6 := a.flatTables()
+	c := Coverage{
+		Paths6: a.D6.NumUniquePaths(),
+		Links6: a.D6.NumLinks(),
+		Links4: a.D4.NumLinks(),
+	}
+	intern.Sweep(dual, f4, f6, func(_ asrel.LinkKey, r4, r6 asrel.Rel) {
+		c.DualStack++
+		if r6.Known() {
+			c.ClassifiedDual++
+			if r4.Known() {
 				c.ClassifiedDualBoth++
 			}
 		}
-		for _, k := range a.D6.Links() {
-			if a.Rel6.GetKey(k).Known() {
-				c.Classified6++
-			}
+	})
+	intern.SweepCounts(a.D6.Flat(), f6, func(_ asrel.LinkKey, _ int, r asrel.Rel) {
+		if r.Known() {
+			c.Classified6++
 		}
-		a.memo.coverage = c
+	})
+	return c
+}
+
+// Coverage computes the dataset summary (cached after the first call).
+func (a *Analysis) Coverage() Coverage {
+	a.memo.covOnce.Do(func() {
+		a.memo.coverage = a.computeCoverage(a.dualStack())
 	})
 	return a.memo.coverage
 }
@@ -221,34 +268,51 @@ type HybridLink struct {
 	Visibility int
 }
 
+// computeHybrids runs the detection pass over the dual-stack join as
+// one sweep against both frozen tables; only the (sparse) hybrid hits
+// pay a per-link visibility lookup.
+func (a *Analysis) computeHybrids(dual []asrel.LinkKey) []HybridLink {
+	f4, f6 := a.flatTables()
+	var out []HybridLink
+	intern.Sweep(dual, f4, f6, func(k asrel.LinkKey, v4, v6 asrel.Rel) {
+		cls := asrel.Classify(v4, v6)
+		if cls == asrel.NotHybrid {
+			return
+		}
+		out = append(out, HybridLink{
+			Key: k, V4: v4, V6: v6, Class: cls,
+			Visibility: a.D6.LinkVisibility(k),
+		})
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Visibility != out[j].Visibility {
+			return out[i].Visibility > out[j].Visibility
+		}
+		if out[i].Key.Lo != out[j].Key.Lo {
+			return out[i].Key.Lo < out[j].Key.Lo
+		}
+		return out[i].Key.Hi < out[j].Key.Hi
+	})
+	return out
+}
+
 // hybridList memoizes the detection pass; callers must not mutate the
 // returned slice.
 func (a *Analysis) hybridList() []HybridLink {
 	a.memo.hybOnce.Do(func() {
-		var out []HybridLink
-		for _, k := range a.dualStack() {
-			v4, v6 := a.Rel4.GetKey(k), a.Rel6.GetKey(k)
-			cls := asrel.Classify(v4, v6)
-			if cls == asrel.NotHybrid {
-				continue
-			}
-			out = append(out, HybridLink{
-				Key: k, V4: v4, V6: v6, Class: cls,
-				Visibility: a.D6.LinkVisibility(k),
-			})
-		}
-		sort.SliceStable(out, func(i, j int) bool {
-			if out[i].Visibility != out[j].Visibility {
-				return out[i].Visibility > out[j].Visibility
-			}
-			if out[i].Key.Lo != out[j].Key.Lo {
-				return out[i].Key.Lo < out[j].Key.Lo
-			}
-			return out[i].Key.Hi < out[j].Key.Hi
-		})
-		a.memo.hybrids = out
+		a.memo.hybrids = a.computeHybrids(a.dualStack())
 	})
 	return a.memo.hybrids
+}
+
+// ComputeProducts recomputes the dual-stack join, the hybrid list, and
+// the coverage summary from scratch on the interned flat
+// representation, bypassing the memo cache. It exists for the
+// benchmark suite and the interned-vs-legacy equivalence invariant;
+// normal callers use the memoized accessors.
+func (a *Analysis) ComputeProducts() (dual []asrel.LinkKey, hybrids []HybridLink, cov Coverage) {
+	dual = dataset.DualStack(a.D4, a.D6)
+	return dual, a.computeHybrids(dual), a.computeCoverage(dual)
 }
 
 // Hybrids detects every dual-stack link whose recovered relationships

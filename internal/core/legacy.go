@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"hybridrel/internal/asrel"
+)
+
+// This file preserves the map-based derived-product algorithms the
+// repository ran on before the interned flat-table core landed. They
+// are kept as a living reference for two consumers:
+//
+//   - the benchmark suite (internal/benchkit, cmd/experiments -bench),
+//     which measures both variants in the same run so the interned
+//     path's speedup and allocation savings are always quantified
+//     against the representation it replaced, and
+//   - the scenario matrix's interned-equivalence invariant, which
+//     requires the two implementations to produce identical products
+//     on every scenario family.
+//
+// The algorithms are verbatim ports of the pre-intern implementations:
+// link sets as map[LinkKey]int (built during ingest back then, passed
+// in pre-built here so only the query work is compared), relationship
+// lookups as hash probes on the map-backed asrel.Tables.
+
+// LegacyDualStack joins two map-keyed link sets exactly as the seed
+// implementation did: sort the smaller side's keys, probe the larger
+// side's map per key. The result is in canonical order, identical to
+// the interned two-pointer join.
+func LegacyDualStack(link4, link6 map[asrel.LinkKey]int) []asrel.LinkKey {
+	small, large := link4, link6
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	keys := make([]asrel.LinkKey, 0, len(small))
+	for k := range small {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Lo != keys[j].Lo {
+			return keys[i].Lo < keys[j].Lo
+		}
+		return keys[i].Hi < keys[j].Hi
+	})
+	var out []asrel.LinkKey
+	for _, k := range keys {
+		if large[k] > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// LegacyHybrids is the map-probing detection pass: one Rel4/Rel6 hash
+// lookup pair per dual-stack link, visibility from the map index.
+func (a *Analysis) LegacyHybrids(dual []asrel.LinkKey, link6 map[asrel.LinkKey]int) []HybridLink {
+	var out []HybridLink
+	for _, k := range dual {
+		v4, v6 := a.Rel4.GetKey(k), a.Rel6.GetKey(k)
+		cls := asrel.Classify(v4, v6)
+		if cls == asrel.NotHybrid {
+			continue
+		}
+		out = append(out, HybridLink{
+			Key: k, V4: v4, V6: v6, Class: cls,
+			Visibility: link6[k],
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Visibility != out[j].Visibility {
+			return out[i].Visibility > out[j].Visibility
+		}
+		if out[i].Key.Lo != out[j].Key.Lo {
+			return out[i].Key.Lo < out[j].Key.Lo
+		}
+		return out[i].Key.Hi < out[j].Key.Hi
+	})
+	return out
+}
+
+// LegacyCoverage is the map-probing dataset summary: a hash lookup per
+// dual-stack link against both relationship tables, then one per IPv6
+// link.
+func (a *Analysis) LegacyCoverage(dual []asrel.LinkKey, link6 map[asrel.LinkKey]int) Coverage {
+	c := Coverage{
+		Paths6: a.D6.NumUniquePaths(),
+		Links6: len(link6),
+		Links4: a.D4.NumLinks(),
+	}
+	for _, k := range dual {
+		c.DualStack++
+		rel6 := a.Rel6.GetKey(k).Known()
+		if rel6 {
+			c.ClassifiedDual++
+		}
+		if rel6 && a.Rel4.GetKey(k).Known() {
+			c.ClassifiedDualBoth++
+		}
+	}
+	for k := range link6 {
+		if a.Rel6.GetKey(k).Known() {
+			c.Classified6++
+		}
+	}
+	return c
+}
+
+// LegacyProducts recomputes the dual-stack join, hybrid list, and
+// coverage with the pre-intern map-based algorithms over pre-built map
+// link indexes (dataset.LinkMap). The products must be identical to
+// ComputeProducts — the interned-equivalence invariant asserts exactly
+// that on every scenario family.
+func (a *Analysis) LegacyProducts(link4, link6 map[asrel.LinkKey]int) (dual []asrel.LinkKey, hybrids []HybridLink, cov Coverage) {
+	dual = LegacyDualStack(link4, link6)
+	return dual, a.LegacyHybrids(dual, link6), a.LegacyCoverage(dual, link6)
+}

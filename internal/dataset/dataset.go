@@ -14,9 +14,11 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/bgp"
+	"hybridrel/internal/intern"
 	"hybridrel/internal/mrt"
 	"hybridrel/internal/topology"
 )
@@ -39,15 +41,39 @@ type PathObs struct {
 	Obs int
 }
 
-// Origin returns the last AS of the path.
-func (p *PathObs) Origin() asrel.ASN { return p.Path[len(p.Path)-1] }
+// Origin returns the last AS of the path. The second return is false
+// for a zero-length path — a PathObs this package never constructs
+// (CleanPath rejects empty raw paths), but one a future caller or a
+// decoded artifact could hand us; indexing Path[len-1] unguarded would
+// panic on it.
+func (p *PathObs) Origin() (asrel.ASN, bool) {
+	if len(p.Path) == 0 {
+		return 0, false
+	}
+	return p.Path[len(p.Path)-1], true
+}
 
 // Dataset is the observed data of one address-family plane.
+//
+// Link occurrences are accumulated flat (one entry per unique path per
+// link) and folded on first query into a sorted intern.Counts — the
+// interned representation every link lookup, the dual-stack join, and
+// the snapshot capture run on. The fold is incremental: only the
+// occurrences that arrived since the last freeze are sorted and merged
+// into the standing index, and the raw sequence is released afterwards,
+// so steady-state memory is O(distinct links), not O(occurrences).
 type Dataset struct {
 	AF asrel.AF
 
 	paths map[string]*PathObs
-	links map[asrel.LinkKey]int // unique paths containing the link
+
+	// flatMu guards the lazily-built flat index and its pending batch:
+	// derived-product accessors may race on the first query after
+	// ingest. Mutation concurrent with queries remains unsupported, as
+	// it always was.
+	flatMu  sync.Mutex
+	pending []asrel.LinkKey // occurrences not yet folded into flat
+	flat    *intern.Counts  // nil until the first freeze
 
 	// ingest tallies
 	observations int
@@ -61,7 +87,6 @@ func New(af asrel.AF) *Dataset {
 	return &Dataset{
 		AF:    af,
 		paths: make(map[string]*PathObs),
-		links: make(map[asrel.LinkKey]int),
 	}
 }
 
@@ -119,9 +144,7 @@ func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Comm
 			HasLocPrf:   hasLocPrf,
 		}
 		d.paths[key] = obs
-		for i := 1; i < len(path); i++ {
-			d.links[asrel.Key(path[i-1], path[i])]++
-		}
+		d.appendLinks(path)
 	}
 	obs.Obs++
 	if prefix.IsValid() {
@@ -200,9 +223,7 @@ func (d *Dataset) Merge(other *Dataset) error {
 		obs, ok := d.paths[key]
 		if !ok {
 			d.paths[key] = in
-			for i := 1; i < len(in.Path); i++ {
-				d.links[asrel.Key(in.Path[i-1], in.Path[i])]++
-			}
+			d.appendLinks(in.Path)
 			continue
 		}
 		obs.Obs += in.Obs
@@ -224,6 +245,37 @@ func (d *Dataset) Merge(other *Dataset) error {
 	d.droppedLoops += other.droppedLoops
 	d.skippedAF += other.skippedAF
 	return nil
+}
+
+// appendLinks records one new unique path's consecutive AS pairs in
+// the pending occurrence batch. A cleaned path is loop-free, so its
+// pairs are necessarily distinct and each contributes exactly one
+// unique-path visibility count.
+func (d *Dataset) appendLinks(path []asrel.ASN) {
+	d.flatMu.Lock()
+	for i := 1; i < len(path); i++ {
+		d.pending = append(d.pending, asrel.Key(path[i-1], path[i]))
+	}
+	d.flatMu.Unlock()
+}
+
+// Flat returns the frozen link-visibility index, folding any pending
+// occurrences in on first use after ingestion and releasing the raw
+// batch. Safe for concurrent callers; the returned Counts is
+// immutable.
+func (d *Dataset) Flat() *intern.Counts {
+	d.flatMu.Lock()
+	defer d.flatMu.Unlock()
+	if len(d.pending) > 0 || d.flat == nil {
+		batch := intern.BuildCounts(d.pending)
+		if d.flat == nil {
+			d.flat = batch
+		} else {
+			d.flat = intern.MergeCounts(d.flat, batch)
+		}
+		d.pending = nil
+	}
+	return d.flat
 }
 
 // NumUniquePaths returns the number of distinct cleaned AS paths.
@@ -252,35 +304,39 @@ func (d *Dataset) Paths() []*PathObs {
 }
 
 // Links returns the observed link keys in canonical order.
-func (d *Dataset) Links() []asrel.LinkKey {
-	out := make([]asrel.LinkKey, 0, len(d.links))
-	for k := range d.links {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Lo != out[j].Lo {
-			return out[i].Lo < out[j].Lo
-		}
-		return out[i].Hi < out[j].Hi
-	})
-	return out
+func (d *Dataset) Links() []asrel.LinkKey { return d.Flat().Keys() }
+
+// EachLink calls fn for every observed link in canonical order with
+// its unique-path visibility, without materializing a key slice.
+func (d *Dataset) EachLink(fn func(k asrel.LinkKey, visibility int)) {
+	d.Flat().Each(fn)
 }
 
 // NumLinks returns the number of distinct observed links.
-func (d *Dataset) NumLinks() int { return len(d.links) }
+func (d *Dataset) NumLinks() int { return d.Flat().Len() }
 
 // HasLink reports whether the link was observed on any path.
-func (d *Dataset) HasLink(k asrel.LinkKey) bool { return d.links[k] > 0 }
+func (d *Dataset) HasLink(k asrel.LinkKey) bool { return d.Flat().Has(k) }
 
 // LinkVisibility returns how many unique paths traverse the link.
-func (d *Dataset) LinkVisibility(k asrel.LinkKey) int { return d.links[k] }
+func (d *Dataset) LinkVisibility(k asrel.LinkKey) int { return d.Flat().Get(k) }
+
+// LinkMap materializes the map-keyed link-visibility index the
+// pre-interned implementation maintained during ingest. It exists for
+// the legacy reference path: the map-vs-flat benchmarks and the
+// interned-equivalence invariant both need the old representation to
+// compare against.
+func (d *Dataset) LinkMap() map[asrel.LinkKey]int {
+	f := d.Flat()
+	out := make(map[asrel.LinkKey]int, f.Len())
+	f.Each(func(k asrel.LinkKey, n int) { out[k] = n })
+	return out
+}
 
 // Graph materializes the observed topology as a graph.
 func (d *Dataset) Graph() *topology.Graph {
 	g := topology.New()
-	for k := range d.links {
-		g.AddLink(k.Lo, k.Hi)
-	}
+	d.Flat().Each(func(k asrel.LinkKey, _ int) { g.AddLink(k.Lo, k.Hi) })
 	return g
 }
 
@@ -299,17 +355,8 @@ func (d *Dataset) Vantages() []asrel.ASN {
 }
 
 // DualStack returns the links observed in both planes, in canonical
-// order. The arguments may be passed in either order.
+// order, as one linear two-pointer sweep over the frozen per-plane
+// indexes. The arguments may be passed in either order.
 func DualStack(a, b *Dataset) []asrel.LinkKey {
-	small, large := a, b
-	if small.NumLinks() > large.NumLinks() {
-		small, large = large, small
-	}
-	var out []asrel.LinkKey
-	for _, k := range small.Links() {
-		if large.HasLink(k) {
-			out = append(out, k)
-		}
-	}
-	return out
+	return intern.Join(a.Flat(), b.Flat())
 }

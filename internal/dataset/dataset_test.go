@@ -51,7 +51,7 @@ func TestAddPathDedupe(t *testing.T) {
 	if obs.Obs != 3 || len(obs.Prefixes) != 2 {
 		t.Errorf("obs = %d prefixes = %v", obs.Obs, obs.Prefixes)
 	}
-	if obs.Vantage != 1 || obs.Origin() != 3 {
+	if origin, ok := obs.Origin(); obs.Vantage != 1 || !ok || origin != 3 {
 		t.Error("vantage/origin wrong")
 	}
 	if d.NumLinks() != 2 || d.LinkVisibility(asrel.Key(1, 2)) != 1 {
@@ -59,6 +59,65 @@ func TestAddPathDedupe(t *testing.T) {
 	}
 	if d.NumObservations() != 3 {
 		t.Errorf("observations = %d", d.NumObservations())
+	}
+}
+
+// TestFlatIndexIncrementalFreeze pins the fold-then-mutate path: link
+// counts must stay correct when ingestion resumes after a query froze
+// the flat index (only the new occurrences are folded in, but the
+// result must equal a from-scratch count).
+func TestFlatIndexIncrementalFreeze(t *testing.T) {
+	d := New(asrel.IPv4)
+	add := func(path ...asrel.ASN) {
+		t.Helper()
+		if err := d.AddPath(path, netip.Prefix{}, nil, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 2, 3)
+	if d.LinkVisibility(asrel.Key(2, 3)) != 1 { // freezes the index
+		t.Fatal("pre-freeze count wrong")
+	}
+	add(4, 2, 3) // ingest after the freeze
+	add(1, 2, 3) // duplicate path: no new link occurrences
+	if got := d.LinkVisibility(asrel.Key(2, 3)); got != 2 {
+		t.Errorf("post-freeze vis(2-3) = %d, want 2", got)
+	}
+	if got := d.LinkVisibility(asrel.Key(2, 4)); got != 1 {
+		t.Errorf("post-freeze vis(2-4) = %d, want 1", got)
+	}
+	if d.NumLinks() != 3 { // {1-2, 2-3, 2-4}
+		t.Errorf("NumLinks = %d, want 3", d.NumLinks())
+	}
+
+	// Merge after a freeze folds the adopted paths' links in too.
+	other := New(asrel.IPv4)
+	if err := other.AddPath([]asrel.ASN{5, 2, 3}, netip.Prefix{}, nil, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.LinkVisibility(asrel.Key(2, 3)); got != 3 {
+		t.Errorf("post-merge vis(2-3) = %d, want 3", got)
+	}
+	if got := d.LinkVisibility(asrel.Key(2, 5)); got != 1 {
+		t.Errorf("post-merge vis(2-5) = %d, want 1", got)
+	}
+}
+
+// TestOriginEmptyPath pins the guard on PathObs.Origin: a zero-length
+// Path — impossible via AddPath, but constructible by a future caller
+// or a decoded artifact — must report not-ok instead of panicking on
+// Path[len-1].
+func TestOriginEmptyPath(t *testing.T) {
+	var p PathObs
+	if origin, ok := p.Origin(); ok || origin != 0 {
+		t.Fatalf("Origin() on empty path = %v, %v; want 0, false", origin, ok)
+	}
+	p.Path = []asrel.ASN{7}
+	if origin, ok := p.Origin(); !ok || origin != 7 {
+		t.Fatalf("Origin() on one-hop path = %v, %v; want 7, true", origin, ok)
 	}
 }
 
@@ -142,14 +201,14 @@ func TestAddMRTFiltersPlane(t *testing.T) {
 	if err := d6.AddMRT(bytes.NewReader(raw)); err != nil {
 		t.Fatal(err)
 	}
-	if d6.NumUniquePaths() != 1 || d6.Paths()[0].Origin() != 5 {
+	if origin, ok := d6.Paths()[0].Origin(); d6.NumUniquePaths() != 1 || !ok || origin != 5 {
 		t.Errorf("v6 ingest = %d paths", d6.NumUniquePaths())
 	}
 	d4 := New(asrel.IPv4)
 	if err := d4.AddMRT(bytes.NewReader(raw)); err != nil {
 		t.Fatal(err)
 	}
-	if d4.NumUniquePaths() != 1 || d4.Paths()[0].Origin() != 3 {
+	if origin, ok := d4.Paths()[0].Origin(); d4.NumUniquePaths() != 1 || !ok || origin != 3 {
 		t.Errorf("v4 ingest = %d paths", d4.NumUniquePaths())
 	}
 }

@@ -1,0 +1,99 @@
+// Package intern provides the compact, array-backed topology core the
+// hot paths run on: dense uint32 AS identifiers, flat sorted link
+// tables with binary-search lookup and two-pointer merge/join, and a
+// compressed-sparse-row (CSR) adjacency for graph traversals.
+//
+// The map-keyed structures the repository started with (Go maps keyed
+// by asrel.LinkKey or asrel.ASN) are convenient builders but dominate
+// allocation and cache misses at route-collector scale: a full
+// IPv4+IPv6 join of the RouteViews/RIS planes touches hundreds of
+// thousands of links, and every map probe is a hash plus a pointer
+// chase. The interned representation stores a link table as one sorted
+// slice of packed uint64 keys with a parallel value slice, so a lookup
+// is a branch-predictable binary search, a whole-table merge or
+// dual-stack join is a linear two-pointer sweep, and iteration is a
+// cache-friendly scan in canonical order.
+//
+// Everything in this package is deterministic: the same inputs produce
+// the same slices byte for byte, which is what lets the snapshot codec
+// and the scenario matrix's differential invariants operate directly on
+// the interned form.
+package intern
+
+import (
+	"slices"
+
+	"hybridrel/internal/asrel"
+)
+
+// Pack encodes a canonical link key into one uint64 that sorts in the
+// same (Lo, Hi) order the repository uses everywhere.
+func Pack(k asrel.LinkKey) uint64 {
+	return uint64(k.Lo)<<32 | uint64(k.Hi)
+}
+
+// Unpack inverts Pack.
+func Unpack(u uint64) asrel.LinkKey {
+	return asrel.LinkKey{Lo: asrel.ASN(u >> 32), Hi: asrel.ASN(u & 0xffffffff)}
+}
+
+// Interner assigns dense uint32 identifiers to AS numbers in first-seen
+// order. IDs index plain slices where a map keyed by ASN would
+// otherwise be needed. The zero value is not usable; construct with
+// NewInterner.
+type Interner struct {
+	ids  map[asrel.ASN]uint32
+	asns []asrel.ASN
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[asrel.ASN]uint32)}
+}
+
+// Intern returns the dense ID of a, assigning the next free one on
+// first sight.
+func (in *Interner) Intern(a asrel.ASN) uint32 {
+	if id, ok := in.ids[a]; ok {
+		return id
+	}
+	id := uint32(len(in.asns))
+	in.ids[a] = id
+	in.asns = append(in.asns, a)
+	return id
+}
+
+// Lookup returns the ID of a without assigning one.
+func (in *Interner) Lookup(a asrel.ASN) (uint32, bool) {
+	id, ok := in.ids[a]
+	return id, ok
+}
+
+// ASN inverts Intern. It panics on an unassigned ID, mirroring slice
+// indexing semantics.
+func (in *Interner) ASN(id uint32) asrel.ASN { return in.asns[id] }
+
+// Len returns the number of assigned IDs.
+func (in *Interner) Len() int { return len(in.asns) }
+
+// ASNs returns the interned AS numbers in ID order. The slice is owned
+// by the interner and must not be modified.
+func (in *Interner) ASNs() []asrel.ASN { return in.asns }
+
+// searchPacked returns the index of key in keys, or (insertion point,
+// false) when absent. keys must be sorted ascending.
+func searchPacked(keys []uint64, key uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// sortPacked sorts packed keys ascending.
+func sortPacked(keys []uint64) { slices.Sort(keys) }

@@ -78,6 +78,18 @@ func FuzzReader(f *testing.F) {
 	huge := record(13, 2, nil)
 	binary.BigEndian.PutUint32(huge[8:12], 1<<20)
 	f.Add(huge)
+	// Lying length fields, minimized from the reader audit (the same
+	// shapes live in the committed corpus as seed-length-*): declared
+	// length past the stream end, declared length shorter than the RIB
+	// fixed fields, and an under-declared length that desyncs the
+	// stream mid-record.
+	past := record(13, 2, []byte{1, 2, 3, 4})
+	binary.BigEndian.PutUint32(past[8:12], 100)
+	f.Add(past)
+	f.Add(record(13, 2, []byte{0, 0}))
+	under := record(13, 2, []byte{0, 0, 0, 7, 24, 10, 9, 0, 0, 0})
+	binary.BigEndian.PutUint32(under[8:12], 4)
+	f.Add(under)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The reader must never panic on untrusted bytes: it returns

@@ -1,0 +1,156 @@
+package mrt
+
+// Audit of the reader against adversarial header-declared record
+// lengths — the two failure shapes a corrupt or truncated archive
+// produces:
+//
+//  1. the length field promises more bytes than the stream holds
+//     (truncation mid-record): the reader must return a clean error
+//     from the short body read, never block or over-read into the
+//     next record;
+//  2. the length field is *smaller* than the fixed-size fields the
+//     record type requires: the per-type decoder must detect the
+//     short body and fail, never index past it.
+//
+// Both minimized shapes are also committed to the FuzzReader seed
+// corpus (testdata/fuzz/FuzzReader/seed-length-*) so the fuzzer keeps
+// exploring their neighborhoods on every CI run.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// rawRecord assembles one MRT record with an explicit (possibly lying)
+// length field.
+func rawRecord(typ, sub uint16, declaredLen uint32, body []byte) []byte {
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr[0:4], 1280620800) // 2010-08-01
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], sub)
+	binary.BigEndian.PutUint32(hdr[8:12], declaredLen)
+	return append(hdr, body...)
+}
+
+// TestReaderLengthPastBody covers shape 1: a record whose declared
+// length exceeds the remaining stream must produce a descriptive error
+// mentioning the body read, at every truncation point.
+func TestReaderLengthPastBody(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		declared uint32
+		body     []byte
+	}{
+		{"empty-body", 100, nil},
+		{"partial-body", 100, []byte{1, 2, 3, 4}},
+		{"one-byte-short", 5, []byte{1, 2, 3, 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(rawRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, tc.declared, tc.body)))
+			rec, err := r.Next()
+			if err == nil {
+				t.Fatalf("truncated record decoded: %+v", rec)
+			}
+			if err == io.EOF {
+				t.Fatal("truncation mid-record reported as a clean EOF")
+			}
+			if !strings.Contains(err.Error(), "body") {
+				t.Errorf("error does not identify the short body: %v", err)
+			}
+		})
+	}
+}
+
+// TestReaderLengthShorterThanFixedFields covers shape 2: the declared
+// length is honored, but the body it delimits cannot hold the record
+// type's fixed-size fields. Every decoder must fail cleanly.
+func TestReaderLengthShorterThanFixedFields(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		typ  uint16
+		sub  uint16
+		body []byte
+	}{
+		// A RIB record needs ≥4 bytes of sequence number alone.
+		{"rib-v4-short-seq", TypeTableDumpV2, SubtypeRIBIPv4Unicast, []byte{0, 0}},
+		{"rib-v6-empty", TypeTableDumpV2, SubtypeRIBIPv6Unicast, nil},
+		// A peer index table needs ≥6 bytes of collector ID + name length.
+		{"peer-index-short", TypeTableDumpV2, SubtypePeerIndexTable, []byte{1, 2, 3}},
+		// BGP4MP_MESSAGE needs 2×AS + ifindex + AFI before the addresses.
+		{"bgp4mp-short", TypeBGP4MP, SubtypeMessage, []byte{0, 1}},
+		{"bgp4mp-as4-short", TypeBGP4MP, SubtypeMessageAS4, []byte{0, 0, 0, 1, 0, 0}},
+		// BGP4MP_ET strips 4 microsecond bytes before the same checks.
+		{"bgp4mp-et-micros-short", TypeBGP4MPET, SubtypeMessageAS4, []byte{9, 9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(rawRecord(tc.typ, tc.sub, uint32(len(tc.body)), tc.body)))
+			rec, err := r.Next()
+			if err == nil {
+				t.Fatalf("short-body record decoded: %+v", rec)
+			}
+			if err == io.EOF {
+				t.Fatal("short body reported as a clean EOF")
+			}
+			if err.Error() == "" {
+				t.Fatal("short body produced an empty error")
+			}
+		})
+	}
+}
+
+// TestReaderShortDeclaredLengthDesyncs pins the other half of a lying
+// length field: when the declared length under-counts the real body,
+// the reader consumes exactly the declared bytes and the *next* Next
+// call parses the leftover mid-record bytes — which must surface as an
+// error (or a structurally valid follow-on record), never a panic or
+// an over-read of the original record.
+func TestReaderShortDeclaredLengthDesyncs(t *testing.T) {
+	// A valid-looking RIB body, but the header only declares 4 of its
+	// bytes; the remainder is garbage from the reader's point of view.
+	full := []byte{0, 0, 0, 7 /* seq */, 24, 10, 9, 0 /* /24 prefix */, 0, 0 /* count */}
+	stream := rawRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, 4, full)
+	r := NewReader(bytes.NewReader(stream))
+	// First record: the 4 declared bytes are a RIB missing its prefix.
+	if _, err := r.Next(); err == nil {
+		t.Fatal("under-declared RIB decoded")
+	} else if err == io.EOF {
+		t.Fatal("under-declared RIB reported as clean EOF")
+	}
+	// The reader must not have read past the declared length even on
+	// the error path: reading again starts at the leftover bytes.
+	if _, err := r.Next(); err == nil {
+		t.Fatal("leftover mid-record bytes decoded as a record")
+	}
+}
+
+// TestReaderMaxRecordLen pins the upper bound: a length field beyond
+// maxRecordLen is rejected before any allocation.
+func TestReaderMaxRecordLen(t *testing.T) {
+	r := NewReader(bytes.NewReader(rawRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, maxRecordLen+1, nil)))
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized length not rejected: %v", err)
+	}
+}
+
+// TestReadAllStopsAtFirstError confirms the streaming contract the
+// fuzz target relies on: ReadAll returns the records before the first
+// malformed one plus the error.
+func TestReadAllStopsAtFirstError(t *testing.T) {
+	good := rawRecord(99, 0, 3, []byte("abc")) // unknown type, kept raw
+	bad := rawRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, 2, []byte{0, 0})
+	recs, err := ReadAll(bytes.NewReader(append(append([]byte{}, good...), bad...)))
+	if err == nil {
+		t.Fatal("malformed trailing record not reported")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records before the error, want 1", len(recs))
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatal("decode error must not be io.EOF")
+	}
+}

@@ -9,7 +9,9 @@
 // Every scenario also runs the shared differential invariant suite:
 // the pipeline at parallelism 1 and N must produce byte-identical
 // snapshots, the snapshot codec must round-trip to identical bytes,
-// and the HTTP serving layer must agree with the Analysis accessors.
+// the HTTP serving layer must agree with the Analysis accessors, and
+// the interned flat-table/CSR hot path must produce products identical
+// to the legacy map-based algorithms it replaced.
 // One matrix run therefore exercises the generator, collector,
 // pipeline, inference, snapshot, and serve layers at once; it is the
 // regression safety-net scale and performance work runs against.

@@ -63,8 +63,17 @@ func TestScenarioMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(r.Invariants) != 3 {
-				t.Fatalf("invariant suite ran %d checks, want 3", len(r.Invariants))
+			if len(r.Invariants) != 4 {
+				t.Fatalf("invariant suite ran %d checks, want 4", len(r.Invariants))
+			}
+			names := make(map[string]bool, len(r.Invariants))
+			for _, inv := range r.Invariants {
+				names[inv.Name] = true
+			}
+			for _, want := range []string{InvParallelism, InvRoundTrip, InvServe, InvInterned} {
+				if !names[want] {
+					t.Errorf("invariant %s missing from the suite", want)
+				}
 			}
 			for _, inv := range r.Invariants {
 				if !inv.OK {

@@ -25,7 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -33,6 +33,7 @@ import (
 
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
+	"hybridrel/internal/intern"
 	"hybridrel/internal/snapshot"
 )
 
@@ -121,19 +122,32 @@ func (s *Server) Reload(ctx context.Context) error {
 }
 
 // state is one immutable indexed snapshot. Everything a handler needs
-// is precomputed here, at load time, exactly once.
+// is precomputed here, at load time, exactly once — as flat sorted
+// arrays in CSR layout rather than maps of pointers: the per-AS index
+// is one shared neighbor array sliced by offsets, link lookups are
+// binary searches over the snapshot's already-sorted link sets, and
+// the hybrid-by-key index is a sorted permutation of the hybrid list.
+// Load-time allocation is a handful of arrays instead of hundreds of
+// thousands of map cells.
 type state struct {
 	snap *snapshot.Snapshot
 
-	// link4 / link6 map every observed link to its path visibility.
-	link4, link6 map[asrel.LinkKey]int
-	// hybrid maps a hybrid link to its index in snap.Hybrids.
-	hybrid map[asrel.LinkKey]int
+	// asns / entries are the per-AS index: entry i describes asns[i],
+	// ascending. Each entry's neighbor and hybrid runs are sub-slices
+	// of one shared backing array.
+	asns    []asrel.ASN
+	entries []asEntry
+	// link4 / link6 are the packed keys of snap.Links4 / snap.Links6,
+	// element for element, so a per-link probe is one binary search
+	// over a contiguous uint64 array.
+	link4, link6 []uint64
+	// hybByKey lists indexes into snap.Hybrids ordered by canonical
+	// link key; hybKeys holds the corresponding packed keys, parallel.
+	hybByKey []int32
+	hybKeys  []uint64
 	// byClass holds, per hybrid class, the indexes into snap.Hybrids in
 	// list (visibility) order, so filtered pagination is a slice.
-	byClass map[asrel.HybridClass][]int
-	// as is the per-AS adjacency index.
-	as map[asrel.ASN]*asEntry
+	byClass [asrel.HybridOther + 1][]int32
 
 	stats    StatsResponse
 	loadedAt time.Time
@@ -141,10 +155,13 @@ type state struct {
 
 // asEntry is one AS's precomputed adjacency.
 type asEntry struct {
-	// neighbors is sorted ascending by ASN.
+	// neighbors is sorted ascending by ASN (a sub-slice of the shared
+	// neighbor array).
 	neighbors  []neighborRef
 	deg4, deg6 int
-	hybrids    []int // indexes into snap.Hybrids, list order
+	// hybrids indexes into snap.Hybrids in list order (a sub-slice of
+	// the shared hybrid-membership array).
+	hybrids []int32
 }
 
 type neighborRef struct {
@@ -152,49 +169,115 @@ type neighborRef struct {
 	in4, in6 bool
 }
 
+// packKeys extracts the packed canonical keys of a link set, element
+// for element.
+func packKeys(ls []snapshot.Link) []uint64 {
+	out := make([]uint64, len(ls))
+	for i, l := range ls {
+		out[i] = intern.Pack(l.Key)
+	}
+	return out
+}
+
+// lookupLink binary-searches a packed key array (sorted, parallel to
+// its snapshot link set) for k.
+func lookupLink(keys []uint64, ls []snapshot.Link, k asrel.LinkKey) (vis int, ok bool) {
+	i, found := slices.BinarySearch(keys, intern.Pack(k))
+	if !found {
+		return 0, false
+	}
+	return ls[i].Visibility, true
+}
+
+// lookupAS returns the per-AS entry of asn.
+func (st *state) lookupAS(asn asrel.ASN) (*asEntry, bool) {
+	i, found := slices.BinarySearch(st.asns, asn)
+	if !found {
+		return nil, false
+	}
+	return &st.entries[i], true
+}
+
+// lookupHybrid returns the index into snap.Hybrids of the hybrid link
+// k, if any.
+func (st *state) lookupHybrid(k asrel.LinkKey) (int, bool) {
+	i, found := slices.BinarySearch(st.hybKeys, intern.Pack(k))
+	if !found {
+		return 0, false
+	}
+	return int(st.hybByKey[i]), true
+}
+
 func buildState(snap *snapshot.Snapshot) *state {
 	st := &state{
 		snap:     snap,
-		link4:    make(map[asrel.LinkKey]int, len(snap.Links4)),
-		link6:    make(map[asrel.LinkKey]int, len(snap.Links6)),
-		hybrid:   make(map[asrel.LinkKey]int, len(snap.Hybrids)),
-		byClass:  make(map[asrel.HybridClass][]int),
-		as:       make(map[asrel.ASN]*asEntry),
+		link4:    packKeys(snap.Links4),
+		link6:    packKeys(snap.Links6),
 		stats:    StatsOf(snap),
 		loadedAt: time.Now().UTC(),
 	}
-	nbr := make(map[asrel.ASN]map[asrel.ASN]*neighborRef)
-	touch := func(a, b asrel.ASN, v6 bool) {
-		m, ok := nbr[a]
-		if !ok {
-			m = make(map[asrel.ASN]*neighborRef)
-			nbr[a] = m
-		}
-		r, ok := m[b]
-		if !ok {
-			r = &neighborRef{asn: b}
-			m[b] = r
-		}
-		if v6 {
-			r.in6 = true
-		} else {
-			r.in4 = true
+
+	// Directed edge list: two per undirected link per plane, packed so
+	// one sort groups them by (src, dst) and dual-stack duplicates sit
+	// adjacent for the merge below.
+	type dirEdge struct {
+		key uint64 // src<<32 | dst
+		in6 bool
+	}
+	edges := make([]dirEdge, 0, 2*(len(snap.Links4)+len(snap.Links6)))
+	add := func(ls []snapshot.Link, in6 bool) {
+		for _, l := range ls {
+			a, b := uint64(l.Key.Lo), uint64(l.Key.Hi)
+			edges = append(edges,
+				dirEdge{key: a<<32 | b, in6: in6},
+				dirEdge{key: b<<32 | a, in6: in6})
 		}
 	}
-	for _, l := range snap.Links4 {
-		st.link4[l.Key] = l.Visibility
-		touch(l.Key.Lo, l.Key.Hi, false)
-		touch(l.Key.Hi, l.Key.Lo, false)
+	add(snap.Links4, false)
+	add(snap.Links6, true)
+	slices.SortFunc(edges, func(x, y dirEdge) int {
+		switch {
+		case x.key < y.key:
+			return -1
+		case x.key > y.key:
+			return 1
+		// Plane order only matters for determinism of the merge loop.
+		case !x.in6 && y.in6:
+			return -1
+		case x.in6 && !y.in6:
+			return 1
+		}
+		return 0
+	})
+
+	// Merge duplicates into the shared neighbor array and cut it into
+	// per-source runs (the CSR rows).
+	nbrs := make([]neighborRef, 0, len(edges))
+	var srcOf []asrel.ASN // source AS of each merged neighborRef
+	for i := 0; i < len(edges); {
+		j := i + 1
+		for j < len(edges) && edges[j].key == edges[i].key {
+			j++
+		}
+		ref := neighborRef{asn: asrel.ASN(edges[i].key & 0xffffffff)}
+		for _, e := range edges[i:j] {
+			if e.in6 {
+				ref.in6 = true
+			} else {
+				ref.in4 = true
+			}
+		}
+		nbrs = append(nbrs, ref)
+		srcOf = append(srcOf, asrel.ASN(edges[i].key>>32))
+		i = j
 	}
-	for _, l := range snap.Links6 {
-		st.link6[l.Key] = l.Visibility
-		touch(l.Key.Lo, l.Key.Hi, true)
-		touch(l.Key.Hi, l.Key.Lo, true)
-	}
-	for asn, m := range nbr {
-		e := &asEntry{neighbors: make([]neighborRef, 0, len(m))}
-		for _, r := range m {
-			e.neighbors = append(e.neighbors, *r)
+	for i := 0; i < len(nbrs); {
+		j := i + 1
+		for j < len(nbrs) && srcOf[j] == srcOf[i] {
+			j++
+		}
+		e := asEntry{neighbors: nbrs[i:j]}
+		for _, r := range e.neighbors {
 			if r.in4 {
 				e.deg4++
 			}
@@ -202,17 +285,59 @@ func buildState(snap *snapshot.Snapshot) *state {
 				e.deg6++
 			}
 		}
-		sort.Slice(e.neighbors, func(i, j int) bool { return e.neighbors[i].asn < e.neighbors[j].asn })
-		st.as[asn] = e
+		st.asns = append(st.asns, srcOf[i])
+		st.entries = append(st.entries, e)
+		i = j
 	}
-	for i, h := range snap.Hybrids {
-		st.hybrid[h.Key] = i
-		st.byClass[h.Class] = append(st.byClass[h.Class], i)
+
+	// Hybrid indexes: by canonical key for per-link probes, by class
+	// for filtered pagination, by endpoint for the per-AS view. The
+	// per-endpoint runs share one backing array, sized by a counting
+	// pass so nothing reallocates.
+	st.hybByKey = make([]int32, len(snap.Hybrids))
+	for i := range snap.Hybrids {
+		st.hybByKey[i] = int32(i)
+	}
+	slices.SortFunc(st.hybByKey, func(x, y int32) int {
+		ux, uy := intern.Pack(snap.Hybrids[x].Key), intern.Pack(snap.Hybrids[y].Key)
+		switch {
+		case ux < uy:
+			return -1
+		case ux > uy:
+			return 1
+		}
+		return 0
+	})
+	st.hybKeys = make([]uint64, len(st.hybByKey))
+	for i, idx := range st.hybByKey {
+		st.hybKeys[i] = intern.Pack(snap.Hybrids[idx].Key)
+	}
+	counts := make([]int32, len(st.asns))
+	endpoints := func(h core.HybridLink, fn func(entry int)) {
 		for _, end := range []asrel.ASN{h.Key.Lo, h.Key.Hi} {
-			if e, ok := st.as[end]; ok {
-				e.hybrids = append(e.hybrids, i)
+			if i, found := slices.BinarySearch(st.asns, end); found {
+				fn(i)
 			}
 		}
+	}
+	for _, h := range snap.Hybrids {
+		endpoints(h, func(i int) { counts[i]++ })
+	}
+	var total int32
+	for _, n := range counts {
+		total += n
+	}
+	shared := make([]int32, total)
+	var off int32
+	for i, n := range counts {
+		st.entries[i].hybrids = shared[off:off:off+n]
+		off += n
+	}
+	for i, h := range snap.Hybrids {
+		st.byClass[h.Class] = append(st.byClass[h.Class], int32(i))
+		endpoints(h, func(e int) {
+			st.entries[e].hybrids = append(st.entries[e].hybrids, int32(i))
+		})
 	}
 	return st
 }
@@ -242,8 +367,8 @@ func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := asrel.Key(a, b)
-	_, in4 := st.link4[k]
-	v6, in6 := st.link6[k]
+	_, in4 := lookupLink(st.link4, st.snap.Links4, k)
+	v6, in6 := lookupLink(st.link6, st.snap.Links6, k)
 	if !in4 && !in6 {
 		writeError(w, http.StatusNotFound, "link %s not observed in either plane", k)
 		return
@@ -258,7 +383,7 @@ func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
 		DualStack:   in4 && in6,
 		Visibility6: v6,
 	}
-	if i, ok := st.hybrid[k]; ok {
+	if i, ok := st.lookupHybrid(k); ok {
 		resp.Hybrid = true
 		resp.Class = st.snap.Hybrids[i].Class.String()
 	}
@@ -272,7 +397,7 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, ok := st.as[asn]
+	e, ok := st.lookupAS(asn)
 	if !ok {
 		writeError(w, http.StatusNotFound, "%s not observed in either plane", asn)
 		return
@@ -286,6 +411,7 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, n := range e.neighbors {
 		k := asrel.Key(asn, n.asn)
+		vis6, _ := lookupLink(st.link6, st.snap.Links6, k)
 		nj := NeighborJSON{
 			ASN:         uint32(n.asn),
 			In4:         n.in4,
@@ -293,9 +419,9 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 			DualStack:   n.in4 && n.in6,
 			V4:          st.snap.Rel4.Get(asn, n.asn).String(),
 			V6:          st.snap.Rel6.Get(asn, n.asn).String(),
-			Visibility6: st.link6[k],
+			Visibility6: vis6,
 		}
-		if i, ok := st.hybrid[k]; ok {
+		if i, ok := st.lookupHybrid(k); ok {
 			nj.Hybrid = true
 			nj.Class = st.snap.Hybrids[i].Class.String()
 		}
@@ -345,6 +471,8 @@ func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
 		resp.Class = cl.String()
 		idx := st.byClass[cl]
 		resp.Total = len(idx)
+		// An offset past the end of the filtered list yields an empty
+		// page, never a slice panic.
 		if offset < len(idx) {
 			for _, i := range idx[offset:min(offset+limit, len(idx))] {
 				page(st.snap.Hybrids[i])
@@ -373,9 +501,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
-		ASNs:     len(st.as),
-		Links4:   len(st.link4),
-		Links6:   len(st.link6),
+		ASNs:     len(st.asns),
+		Links4:   len(st.snap.Links4),
+		Links6:   len(st.snap.Links6),
 		Hybrids:  len(st.snap.Hybrids),
 		LoadedAt: st.loadedAt.Format(time.RFC3339Nano),
 	})
@@ -393,9 +521,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "reloaded",
-		ASNs:     len(st.as),
-		Links4:   len(st.link4),
-		Links6:   len(st.link6),
+		ASNs:     len(st.asns),
+		Links4:   len(st.snap.Links4),
+		Links6:   len(st.snap.Links6),
 		Hybrids:  len(st.snap.Hybrids),
 		LoadedAt: st.loadedAt.Format(time.RFC3339Nano),
 	})

@@ -332,6 +332,117 @@ func TestHybridsEndpoint(t *testing.T) {
 	}
 }
 
+// TestHybridsPaginationBounds pins the /v1/hybrids offset/limit
+// validation over the edge grid {-1, 0, len, len+1, MaxLimit+1}:
+// negative offsets and non-positive limits are 400s (strconv.Atoi
+// accepting a value is not the same as the value being valid), an
+// offset at or past the end of the list is a clean empty page, and an
+// over-large limit clamps to MaxLimit instead of flowing raw into the
+// slicing.
+func TestHybridsPaginationBounds(t *testing.T) {
+	a, snap, _ := fixtures(t)
+	srv := New(snap)
+	n := len(a.Hybrids())
+	if n == 0 {
+		t.Fatal("fixture world produced no hybrids; the bounds grid would be vacuous")
+	}
+
+	offsetCases := []struct {
+		offset    int
+		wantCode  int
+		wantItems int
+	}{
+		{-1, http.StatusBadRequest, 0},
+		{0, http.StatusOK, min(n, DefaultLimit)},
+		{n, http.StatusOK, 0},
+		{n + 1, http.StatusOK, 0},
+		{MaxLimit + 1, http.StatusOK, 0}, // fixture has far fewer hybrids than MaxLimit
+	}
+	for _, tc := range offsetCases {
+		var resp HybridsResponse
+		var e ErrorResponse
+		url := fmt.Sprintf("/v1/hybrids?offset=%d", tc.offset)
+		if tc.wantCode != http.StatusOK {
+			if code := get(t, srv, "GET", url, &e); code != tc.wantCode {
+				t.Errorf("offset=%d: status %d, want %d", tc.offset, code, tc.wantCode)
+			}
+			if e.Error == "" {
+				t.Errorf("offset=%d: rejection carries no error message", tc.offset)
+			}
+			continue
+		}
+		if code := get(t, srv, "GET", url, &resp); code != tc.wantCode {
+			t.Errorf("offset=%d: status %d, want %d", tc.offset, code, tc.wantCode)
+			continue
+		}
+		if len(resp.Hybrids) != tc.wantItems {
+			t.Errorf("offset=%d: %d items, want %d", tc.offset, len(resp.Hybrids), tc.wantItems)
+		}
+		if resp.Total != n {
+			t.Errorf("offset=%d: total %d, want %d", tc.offset, resp.Total, n)
+		}
+	}
+
+	limitCases := []struct {
+		limit     int
+		wantCode  int
+		wantItems int
+		wantLimit int
+	}{
+		{-1, http.StatusBadRequest, 0, 0},
+		{0, http.StatusBadRequest, 0, 0},
+		{n, http.StatusOK, min(n, MaxLimit), min(n, MaxLimit)},
+		{n + 1, http.StatusOK, min(n, MaxLimit), min(n+1, MaxLimit)},
+		{MaxLimit + 1, http.StatusOK, min(n, MaxLimit), MaxLimit},
+	}
+	for _, tc := range limitCases {
+		var resp HybridsResponse
+		var e ErrorResponse
+		url := fmt.Sprintf("/v1/hybrids?limit=%d", tc.limit)
+		if tc.wantCode != http.StatusOK {
+			if code := get(t, srv, "GET", url, &e); code != tc.wantCode {
+				t.Errorf("limit=%d: status %d, want %d", tc.limit, code, tc.wantCode)
+			}
+			if e.Error == "" {
+				t.Errorf("limit=%d: rejection carries no error message", tc.limit)
+			}
+			continue
+		}
+		if code := get(t, srv, "GET", url, &resp); code != tc.wantCode {
+			t.Errorf("limit=%d: status %d, want %d", tc.limit, code, tc.wantCode)
+			continue
+		}
+		if len(resp.Hybrids) != tc.wantItems {
+			t.Errorf("limit=%d: %d items, want %d", tc.limit, len(resp.Hybrids), tc.wantItems)
+		}
+		if resp.Limit != tc.wantLimit {
+			t.Errorf("limit=%d: echoed limit %d, want %d (MaxLimit clamp)", tc.limit, resp.Limit, tc.wantLimit)
+		}
+	}
+
+	// Non-numeric values are rejected too, for both parameters.
+	for _, url := range []string{"/v1/hybrids?offset=abc", "/v1/hybrids?limit=abc"} {
+		var e ErrorResponse
+		if code := get(t, srv, "GET", url, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, code)
+		}
+	}
+
+	// The class-filtered path clamps past-the-end offsets identically.
+	census := a.HybridCensus()
+	for cl, count := range census.ByClass {
+		var resp HybridsResponse
+		url := fmt.Sprintf("/v1/hybrids?class=%s&offset=%d", cl.String(), count+1)
+		if code := get(t, srv, "GET", url, &resp); code != http.StatusOK {
+			t.Errorf("class %s past-the-end offset: status %d", cl, code)
+		}
+		if len(resp.Hybrids) != 0 || resp.Total != count {
+			t.Errorf("class %s past-the-end offset: %d items, total %d (want 0, %d)",
+				cl, len(resp.Hybrids), resp.Total, count)
+		}
+	}
+}
+
 func TestStatsAndHealth(t *testing.T) {
 	a, snap, _ := fixtures(t)
 	srv := New(snap)

@@ -45,6 +45,7 @@ import (
 
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
+	"hybridrel/internal/intern"
 	"hybridrel/internal/valley"
 )
 
@@ -77,8 +78,10 @@ type Link struct {
 // Snapshot is the decoded artifact: every queryable product of a run.
 // The zero value is not useful; build one with Capture or Read.
 type Snapshot struct {
-	// Rel4 / Rel6 are the recovered per-plane relationship tables.
-	Rel4, Rel6 *asrel.Table
+	// Rel4 / Rel6 are the recovered per-plane relationship tables in
+	// their interned flat form: sorted, binary-searchable, and encoded
+	// or decoded as one in-order scan with no map round-trip.
+	Rel4, Rel6 *intern.Table
 	// Links4 / Links6 are the observed per-plane link sets in canonical
 	// order, each with its unique-path visibility.
 	Links4, Links6 []Link
@@ -97,20 +100,22 @@ type Snapshot struct {
 // tables; treat both as read-only afterwards.
 func Capture(a *core.Analysis) *Snapshot {
 	s := &Snapshot{
-		Rel4:       a.Rel4,
-		Rel6:       a.Rel6,
+		Rel4:       a.Flat4(),
+		Rel6:       a.Flat6(),
 		Hybrids:    a.Hybrids(),
 		Coverage:   a.Coverage(),
 		Census:     a.HybridCensus(),
 		Visibility: a.HybridVisibility(),
 		Valley:     a.ValleyReport(),
 	}
-	for _, k := range a.D4.Links() {
-		s.Links4 = append(s.Links4, Link{Key: k, Visibility: a.D4.LinkVisibility(k)})
-	}
-	for _, k := range a.D6.Links() {
-		s.Links6 = append(s.Links6, Link{Key: k, Visibility: a.D6.LinkVisibility(k)})
-	}
+	s.Links4 = make([]Link, 0, a.D4.NumLinks())
+	a.D4.EachLink(func(k asrel.LinkKey, vis int) {
+		s.Links4 = append(s.Links4, Link{Key: k, Visibility: vis})
+	})
+	s.Links6 = make([]Link, 0, a.D6.NumLinks())
+	a.D6.EachLink(func(k asrel.LinkKey, vis int) {
+		s.Links6 = append(s.Links6, Link{Key: k, Visibility: vis})
+	})
 	return s
 }
 
@@ -252,18 +257,19 @@ func (e *encoder) key(k asrel.LinkKey) {
 	e.uvarint(uint64(k.Hi))
 }
 
-func (e *encoder) table(t *asrel.Table) {
+// table writes a frozen relationship table as one in-order scan — the
+// interned form is already sorted by canonical key, so no key slice is
+// materialized and nothing is re-sorted.
+func (e *encoder) table(t *intern.Table) {
 	if t == nil {
 		e.uvarint(0)
 		return
 	}
-	keys := t.Keys()
-	sortKeys(keys)
-	e.uvarint(uint64(len(keys)))
-	for _, k := range keys {
+	e.uvarint(uint64(t.Len()))
+	t.Each(func(k asrel.LinkKey, r asrel.Rel) {
 		e.key(k)
-		e.byte(byte(t.GetKey(k)))
-	}
+		e.byte(byte(r))
+	})
 }
 
 func (e *encoder) links(ls []Link) {
@@ -318,15 +324,6 @@ func (e *encoder) valley(s valley.Stats) {
 	for _, v := range []int{s.Total, s.ValleyFree, s.Valley, s.Unclassified, s.Necessary} {
 		e.uvarint(uint64(v))
 	}
-}
-
-func sortKeys(keys []asrel.LinkKey) {
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Lo != keys[j].Lo {
-			return keys[i].Lo < keys[j].Lo
-		}
-		return keys[i].Hi < keys[j].Hi
-	})
 }
 
 // Open reads a snapshot file.
@@ -497,17 +494,24 @@ func (d *decoder) float(section string) float64 {
 	return math.Float64frombits(binary.BigEndian.Uint64(b[:]))
 }
 
-func (d *decoder) table(section string) *asrel.Table {
+// table decodes a relationship table straight into the interned flat
+// form. The wire format guarantees entries sorted by canonical key;
+// the builder enforces it, so a table that would break binary-search
+// lookups is rejected as corrupt instead of silently mis-serving.
+func (d *decoder) table(section string) *intern.Table {
 	n := d.count(section)
-	t := asrel.NewTable()
+	var b intern.TableBuilder
+	b.Grow(min(n, allocCap))
 	for i := 0; i < n && d.err == nil; i++ {
 		k := d.linkKey(section)
 		r := d.rel(section)
 		if d.err == nil {
-			t.SetKey(k, r)
+			if err := b.Append(k, r); err != nil {
+				d.fail(section, err)
+			}
 		}
 	}
-	return t
+	return b.Table()
 }
 
 func (d *decoder) links(section string) []Link {
@@ -516,9 +520,21 @@ func (d *decoder) links(section string) []Link {
 		return nil
 	}
 	out := make([]Link, 0, min(n, allocCap))
+	var last uint64
 	for i := 0; i < n && d.err == nil; i++ {
 		k := d.linkKey(section)
 		v := d.int(section)
+		// The serving layer binary-searches these sections in place, so
+		// sortedness is part of the wire contract, exactly as for the
+		// relationship tables: out-of-order input is corrupt, not a
+		// representation to silently mis-serve.
+		if u := intern.Pack(k); d.err == nil {
+			if i > 0 && u <= last {
+				d.fail(section, fmt.Errorf("link %s out of canonical order", k))
+				break
+			}
+			last = u
+		}
 		out = append(out, Link{Key: k, Visibility: v})
 	}
 	if d.err != nil {

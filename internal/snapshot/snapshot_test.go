@@ -19,6 +19,7 @@ import (
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/golden"
+	"hybridrel/internal/intern"
 	"hybridrel/internal/testutil"
 )
 
@@ -229,6 +230,46 @@ func TestFailureModes(t *testing.T) {
 		data = append(data, 1)
 		mustFail(t, "canon", data, "canonical order")
 	})
+	t.Run("unsorted rel table", func(t *testing.T) {
+		data := header(Version, 0)
+		data = binary.AppendUvarint(data, 2)
+		data = binary.AppendUvarint(data, 5) // 5-6 first...
+		data = binary.AppendUvarint(data, 6)
+		data = append(data, 1)
+		data = binary.AppendUvarint(data, 1) // ...then 1-2: out of order
+		data = binary.AppendUvarint(data, 2)
+		data = append(data, 1)
+		mustFail(t, "unsorted-rel", data, "out of canonical order")
+	})
+	t.Run("unsorted links", func(t *testing.T) {
+		// Empty rel tables, then a links4 section out of canonical
+		// order: the serving layer binary-searches the section in
+		// place, so the decoder must reject it, exactly like the rel
+		// tables.
+		data := header(Version, 0)
+		data = binary.AppendUvarint(data, 0) // rel4
+		data = binary.AppendUvarint(data, 0) // rel6
+		data = binary.AppendUvarint(data, 2) // links4: two entries
+		data = binary.AppendUvarint(data, 5) // 5-9 first...
+		data = binary.AppendUvarint(data, 9)
+		data = binary.AppendUvarint(data, 3)
+		data = binary.AppendUvarint(data, 1) // ...then 1-2: out of order
+		data = binary.AppendUvarint(data, 2)
+		data = binary.AppendUvarint(data, 7)
+		mustFail(t, "unsorted-links", data, "out of canonical order")
+	})
+	t.Run("duplicate link", func(t *testing.T) {
+		data := header(Version, 0)
+		data = binary.AppendUvarint(data, 0)
+		data = binary.AppendUvarint(data, 0)
+		data = binary.AppendUvarint(data, 2)
+		for i := 0; i < 2; i++ {
+			data = binary.AppendUvarint(data, 1)
+			data = binary.AppendUvarint(data, 2)
+			data = binary.AppendUvarint(data, 7)
+		}
+		mustFail(t, "dup-link", data, "out of canonical order")
+	})
 	t.Run("garbage gzip payload", func(t *testing.T) {
 		data := append(header(Version, 1), []byte("definitely not gzip")...)
 		mustFail(t, "gzip", data, "gzip")
@@ -281,8 +322,8 @@ func TestTrailingGarbage(t *testing.T) {
 // hybrids, zero stats.
 func TestEmptySnapshot(t *testing.T) {
 	want := &Snapshot{
-		Rel4:   asrel.NewTable(),
-		Rel6:   asrel.NewTable(),
+		Rel4:   intern.FromTable(asrel.NewTable()),
+		Rel6:   intern.FromTable(asrel.NewTable()),
 		Census: core.HybridCensus{ByClass: map[asrel.HybridClass]int{}},
 	}
 	var buf bytes.Buffer

@@ -13,16 +13,17 @@ import (
 	"sort"
 
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/intern"
 )
 
 // Graph is an undirected AS-level topology. The zero value is not usable;
 // construct with New. Graphs may be mutated with AddLink at any time;
-// heavy query methods freeze an internal index lazily and invalidate it
-// on mutation.
+// heavy query methods freeze an internal CSR index lazily and invalidate
+// it on mutation.
 type Graph struct {
 	adj   map[asrel.ASN][]asrel.ASN
 	links map[asrel.LinkKey]struct{}
-	csr   *csr // lazily built; nil when dirty
+	csr   *intern.CSR // lazily built; nil when dirty
 }
 
 // New returns an empty graph.
@@ -160,16 +161,26 @@ func (g *Graph) countRel(t *asrel.Table, a asrel.ASN, want asrel.Rel) int {
 
 // CustomerCone returns the set of ASes reachable from root by repeatedly
 // descending p2c links (the "customer tree" of the paper's Figure 1),
-// excluding the root itself.
+// excluding the root itself. The walk runs on the frozen CSR index with
+// an int32 stack and a visited bitmap instead of map probes.
 func (g *Graph) CustomerCone(t *asrel.Table, root asrel.ASN) map[asrel.ASN]bool {
 	cone := make(map[asrel.ASN]bool)
-	stack := []asrel.ASN{root}
+	c := g.freeze()
+	r, ok := c.Index(root)
+	if !ok {
+		return cone
+	}
+	visited := make([]bool, c.NumNodes())
+	visited[r] = true
+	stack := []int32{r}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.adj[u] {
-			if t.Get(u, v) == asrel.P2C && !cone[v] && v != root {
-				cone[v] = true
+		ua := c.ASNs[u]
+		for _, v := range c.Neighbors(u) {
+			if !visited[v] && t.Get(ua, c.ASNs[v]) == asrel.P2C {
+				visited[v] = true
+				cone[c.ASNs[v]] = true
 				stack = append(stack, v)
 			}
 		}
@@ -224,27 +235,36 @@ func (g *Graph) TierOf(t *asrel.Table, a asrel.ASN) Tier {
 }
 
 // Components returns the connected components of the graph, each sorted
-// by ASN, largest component first (ties broken by smallest member).
+// by ASN, largest component first (ties broken by smallest member). The
+// sweep runs on the frozen CSR with an int32 queue and a visited
+// bitmap; BFS discovers members in frontier order, so the per-component
+// sort below is load-bearing.
 func (g *Graph) Components() [][]asrel.ASN {
-	seen := make(map[asrel.ASN]bool, len(g.adj))
+	c := g.freeze()
+	n := c.NumNodes()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, 64)
 	var comps [][]asrel.ASN
-	for _, start := range g.Nodes() {
+	for start := int32(0); int(start) < n; start++ {
 		if seen[start] {
 			continue
 		}
-		var comp []asrel.ASN
-		queue := []asrel.ASN{start}
+		var members []int32
+		queue = append(queue[:0], start)
 		seen[start] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			comp = append(comp, u)
-			for _, v := range g.adj[u] {
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			members = append(members, u)
+			for _, v := range c.Neighbors(u) {
 				if !seen[v] {
 					seen[v] = true
 					queue = append(queue, v)
 				}
 			}
+		}
+		comp := make([]asrel.ASN, len(members))
+		for i, u := range members {
+			comp[i] = c.ASNs[u]
 		}
 		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
 		comps = append(comps, comp)
@@ -259,23 +279,35 @@ func (g *Graph) Components() [][]asrel.ASN {
 }
 
 // BFSDist returns hop distances from src to every reachable AS ignoring
-// relationship annotations.
+// relationship annotations. The BFS runs on the frozen CSR with an
+// int32 distance array; only the result map is allocated per call.
 func (g *Graph) BFSDist(src asrel.ASN) map[asrel.ASN]int {
-	dist := map[asrel.ASN]int{}
-	if !g.HasNode(src) {
-		return dist
+	c := g.freeze()
+	s, ok := c.Index(src)
+	if !ok {
+		return map[asrel.ASN]int{}
 	}
-	dist[src] = 0
-	queue := []asrel.ASN{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if _, ok := dist[v]; !ok {
+	dist := make([]int32, c.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range c.Neighbors(u) {
+			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
 			}
 		}
 	}
-	return dist
+	out := make(map[asrel.ASN]int, len(queue))
+	for i, d := range dist {
+		if d >= 0 {
+			out[c.ASNs[i]] = int(d)
+		}
+	}
+	return out
 }

@@ -1,45 +1,23 @@
 package topology
 
 import (
-	"sort"
-
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/intern"
 )
 
-// csr is the frozen index used by the heavy traversal methods: nodes are
-// renumbered into [0, n) and adjacency is stored in compressed sparse row
-// form so BFS runs on int32 arrays instead of maps.
-type csr struct {
-	asns []asrel.ASN         // index → ASN, ascending
-	idx  map[asrel.ASN]int32 // ASN → index
-	off  []int32             // n+1 offsets into nbr
-	nbr  []int32             // concatenated neighbor indices
-}
-
-func (g *Graph) freeze() *csr {
+// freeze returns the CSR index of the graph, building it on first use
+// after a mutation. Nodes are renumbered into [0, n) in ascending ASN
+// order so the heavy traversal methods run on int32 arrays instead of
+// maps.
+func (g *Graph) freeze() *intern.CSR {
 	if g.csr != nil {
 		return g.csr
 	}
-	asns := g.Nodes()
-	idx := make(map[asrel.ASN]int32, len(asns))
-	for i, a := range asns {
-		idx[a] = int32(i)
+	nodes := make([]asrel.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		nodes = append(nodes, a)
 	}
-	off := make([]int32, len(asns)+1)
-	for i, a := range asns {
-		off[i+1] = off[i] + int32(len(g.adj[a]))
-	}
-	nbr := make([]int32, off[len(asns)])
-	for i, a := range asns {
-		p := off[i]
-		row := nbr[p:p:off[i+1]]
-		for _, n := range g.adj[a] {
-			row = append(row, idx[n])
-		}
-		// Deterministic neighbor order regardless of insertion history.
-		sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
-	}
-	g.csr = &csr{asns: asns, idx: idx, off: off, nbr: nbr}
+	g.csr = intern.CSRFromAdj(nodes, func(a asrel.ASN) []asrel.ASN { return g.adj[a] })
 	return g.csr
 }
 
@@ -89,21 +67,7 @@ func vfNext(s int, rel asrel.Rel, lenient bool) int {
 // valley-free paths under t, the minimum valley-free hop distance.
 // Links with an Unknown relationship are not traversable.
 func (g *Graph) ValleyFreeDist(t *asrel.Table, src asrel.ASN) map[asrel.ASN]int {
-	c := g.freeze()
-	s, ok := c.idx[src]
-	if !ok {
-		return map[asrel.ASN]int{}
-	}
-	dist := g.vfBFS(t, c, s, nil, false)
-	out := make(map[asrel.ASN]int)
-	n := int32(len(c.asns))
-	for i := int32(0); i < n; i++ {
-		d := minState(dist, i, n)
-		if d >= 0 {
-			out[c.asns[i]] = d
-		}
-	}
-	return out
+	return g.vfDist(t, src, false)
 }
 
 // ValleyFreeDistLenient is ValleyFreeDist under lenient semantics:
@@ -113,18 +77,22 @@ func (g *Graph) ValleyFreeDist(t *asrel.Table, src asrel.ASN) map[asrel.ASN]int 
 // benign interpretation — the necessity criterion of the valley-path
 // taxonomy.
 func (g *Graph) ValleyFreeDistLenient(t *asrel.Table, src asrel.ASN) map[asrel.ASN]int {
+	return g.vfDist(t, src, true)
+}
+
+func (g *Graph) vfDist(t *asrel.Table, src asrel.ASN, lenient bool) map[asrel.ASN]int {
 	c := g.freeze()
-	s, ok := c.idx[src]
+	s, ok := c.Index(src)
 	if !ok {
 		return map[asrel.ASN]int{}
 	}
-	dist := g.vfBFS(t, c, s, nil, true)
+	dist := vfBFS(c, c.EdgeRels(t), s, nil, lenient)
 	out := make(map[asrel.ASN]int)
-	n := int32(len(c.asns))
+	n := int32(c.NumNodes())
 	for i := int32(0); i < n; i++ {
 		d := minState(dist, i, n)
 		if d >= 0 {
-			out[c.asns[i]] = d
+			out[c.ASNs[i]] = d
 		}
 	}
 	return out
@@ -137,16 +105,16 @@ func (g *Graph) ValleyFreeReachable(t *asrel.Table, src, dst asrel.ASN) bool {
 		return g.HasNode(src)
 	}
 	c := g.freeze()
-	s, ok := c.idx[src]
+	s, ok := c.Index(src)
 	if !ok {
 		return false
 	}
-	d, ok := c.idx[dst]
+	d, ok := c.Index(dst)
 	if !ok {
 		return false
 	}
-	dist := g.vfBFS(t, c, s, &d, false)
-	return minState(dist, d, int32(len(c.asns))) >= 0
+	dist := vfBFS(c, c.EdgeRels(t), s, &d, false)
+	return minState(dist, d, int32(c.NumNodes())) >= 0
 }
 
 func minState(dist []int32, i, n int32) int {
@@ -163,13 +131,15 @@ func minState(dist []int32, i, n int32) int {
 	}
 }
 
-// vfBFS runs the two-state product-graph BFS from source index s. The
-// returned slice has 2n entries: [0,n) is stateUp distances, [n,2n) is
-// stateDown distances, -1 meaning unreached. If stop is non-nil the
-// search terminates early once both states of *stop are settled or the
-// frontier empties.
-func (g *Graph) vfBFS(t *asrel.Table, c *csr, s int32, stop *int32, wildcard bool) []int32 {
-	n := int32(len(c.asns))
+// vfBFS runs the two-state product-graph BFS from source index s over
+// the frozen CSR, with every edge's relationship pre-resolved into rels
+// (aligned with c.Nbr, as CSR.EdgeRels produces) — the inner loop is
+// pure array traffic, no map probes. The returned slice has 2n entries:
+// [0,n) is stateUp distances, [n,2n) is stateDown distances, -1 meaning
+// unreached. If stop is non-nil the search terminates early once both
+// states of *stop are settled or the frontier empties.
+func vfBFS(c *intern.CSR, rels []asrel.Rel, s int32, stop *int32, wildcard bool) []int32 {
+	n := int32(c.NumNodes())
 	dist := make([]int32, 2*n)
 	for i := range dist {
 		dist[i] = -1
@@ -184,11 +154,9 @@ func (g *Graph) vfBFS(t *asrel.Table, c *csr, s int32, stop *int32, wildcard boo
 		if stop != nil && dist[*stop] >= 0 && dist[n+*stop] >= 0 {
 			break
 		}
-		ua := c.asns[u]
-		for p := c.off[u]; p < c.off[u+1]; p++ {
-			v := c.nbr[p]
-			rel := t.Get(ua, c.asns[v])
-			mask := vfNext(st, rel, wildcard)
+		for p := c.Off[u]; p < c.Off[u+1]; p++ {
+			v := c.Nbr[p]
+			mask := vfNext(st, rels[p], wildcard)
 			for ns := 0; ns <= 1; ns++ {
 				if mask&(1<<ns) == 0 {
 					continue
@@ -218,10 +186,13 @@ type VFStats struct {
 
 // ValleyFreeStats computes VFStats from every source in sources (all
 // nodes when sources is nil) to all reachable destinations. This is the
-// Figure-2 metric engine: run it on the union-of-customer-trees subgraph.
+// Figure-2 metric engine: run it on the union-of-customer-trees
+// subgraph. The edge relationships are resolved once and shared by
+// every per-source BFS, so the table lookup cost amortizes across the
+// whole sweep.
 func (g *Graph) ValleyFreeStats(t *asrel.Table, sources []asrel.ASN) VFStats {
 	c := g.freeze()
-	n := int32(len(c.asns))
+	n := int32(c.NumNodes())
 	var srcIdx []int32
 	if sources == nil {
 		srcIdx = make([]int32, n)
@@ -230,18 +201,19 @@ func (g *Graph) ValleyFreeStats(t *asrel.Table, sources []asrel.ASN) VFStats {
 		}
 	} else {
 		for _, a := range sources {
-			if i, ok := c.idx[a]; ok {
+			if i, ok := c.Index(a); ok {
 				srcIdx = append(srcIdx, i)
 			}
 		}
 	}
+	rels := c.EdgeRels(t)
 	var (
 		sum   int64
 		pairs int
 		diam  int
 	)
 	for _, s := range srcIdx {
-		dist := g.vfBFS(t, c, s, nil, false)
+		dist := vfBFS(c, rels, s, nil, false)
 		for i := int32(0); i < n; i++ {
 			if i == s {
 				continue

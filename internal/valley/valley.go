@@ -176,7 +176,14 @@ func Assess(paths []*dataset.PathObs, rels *asrel.Table, g *topology.Graph) ([]K
 			dist = g.ValleyFreeDistLenient(rels, p.Vantage)
 			reach[p.Vantage] = dist
 		}
-		if _, reachable := dist[p.Origin()]; !reachable {
+		// A valley verdict implies a path of ≥3 ASes, so the origin
+		// always exists here; the guard keeps a malformed PathObs from
+		// being counted rather than panicking.
+		origin, ok := p.Origin()
+		if !ok {
+			continue
+		}
+		if _, reachable := dist[origin]; !reachable {
 			st.Necessary++
 		}
 	}
