@@ -10,11 +10,13 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
 
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/benchkit"
 	"hybridrel/internal/bgp"
 	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/core"
@@ -430,6 +432,68 @@ func BenchmarkMRTDecode(b *testing.B) {
 		}
 		if len(recs) == 0 {
 			b.Fatal("empty archive")
+		}
+	}
+}
+
+// BenchmarkMRTVisit streams the same archive through the visitor path:
+// one reused record, no per-record allocation — the decode floor the
+// ingest stage sits on.
+func BenchmarkMRTVisit(b *testing.B) {
+	w, _ := benchSetup(b)
+	archive := w.Archives6[0]
+	r := mrt.NewReader(bytes.NewReader(archive))
+	var br bytes.Reader
+	b.SetBytes(int64(len(archive)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(archive)
+		r.Reset(&br)
+		n := 0
+		if err := r.Visit(func(rec *mrt.Record) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("empty archive")
+		}
+	}
+}
+
+// BenchmarkDedupStringKey and BenchmarkDedupInterned compare the
+// displaced string-key path dedup (clean copy + byte-string key + Go
+// map) against the interned arena-hash dedup the dataset now runs on.
+// Workload and legacy baseline are benchkit's own, so these numbers
+// and the `experiments -bench` dedup pair measure identical work.
+func BenchmarkDedupStringKey(b *testing.B) {
+	_, a := benchSetup(b)
+	obs := benchkit.DedupWorkload(a.D6.Paths())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if benchkit.LegacyDedup(obs) == 0 {
+			b.Fatal("empty dedup")
+		}
+	}
+}
+
+func BenchmarkDedupInterned(b *testing.B) {
+	_, a := benchSetup(b)
+	obs := benchkit.DedupWorkload(a.D6.Paths())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dataset.New(asrel.IPv6)
+		for _, raw := range obs {
+			if err := d.AddPath(raw, netip.Prefix{}, nil, 0, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d.NumUniquePaths() == 0 {
+			b.Fatal("empty dedup")
 		}
 	}
 }

@@ -18,19 +18,22 @@
 // The command exits non-zero if any invariant fails.
 //
 // With -bench the hot-path benchmark suite (internal/benchkit) runs
-// instead: ingest, the dual-stack join and inference derived products
-// in both the interned and the legacy map representation, the
+// instead: sequential, visitor-decode and parallel ingest, the dedup
+// microbenchmark pair, the dual-stack join and inference derived
+// products in both the interned and the legacy map representation, the
 // snapshot codec, and the serving layer's per-AS endpoint. Results are
-// written to -benchout (BENCH_PR4.json by default) — the perf
+// written to -benchout (BENCH_PR5.json by default) — the perf
 // trajectory CI uploads on every change — and printed as a table (or
 // to stdout as JSON with -json). -benchtime accepts a duration or
-// "1x" for the single-iteration CI smoke mode.
+// "1x" for the single-iteration CI smoke mode. -benchbaseline diffs
+// the fresh report against a committed baseline and exits non-zero if
+// any named benchmark regressed more than 2x in ns/op.
 //
 // Usage:
 //
 //	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact] [-json]
 //	experiments -scenarios [-tier short|full] [-parallel N] [-json]
-//	experiments -bench [-tier short|full] [-scenario name] [-benchtime 1s|1x] [-benchout file] [-json]
+//	experiments -bench [-tier short|full] [-scenario name] [-benchtime 1s|1x] [-benchout file] [-benchbaseline file] [-json]
 package main
 
 import (
@@ -77,7 +80,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tier      = fs.String("tier", "short", "scenario matrix / benchmark tier: short | full")
 		bench     = fs.Bool("bench", false, "run the hot-path benchmark suite instead of the paper tables")
 		benchTime = fs.String("benchtime", "1s", "per-benchmark time budget (duration, or 1x for one iteration)")
-		benchOut  = fs.String("benchout", "BENCH_PR4.json", "file the benchmark report is written to")
+		benchOut  = fs.String("benchout", "BENCH_PR5.json", "file the benchmark report is written to")
+		benchBase = fs.String("benchbaseline", "", "committed baseline report to diff against; exit non-zero on a >2x ns/op regression")
 		scName    = fs.String("scenario", "tunnel-heavy", "scenario family the benchmarks run against")
 	)
 	if err := cli.Parse(fs, args); err != nil {
@@ -88,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer stop()
 
 	if *bench {
-		return runBench(ctx, *tier, *scName, *benchTime, *benchOut, *jsonOut, stdout, logger)
+		return runBench(ctx, *tier, *scName, *benchTime, *benchOut, *benchBase, *jsonOut, stdout, logger)
 	}
 	if *scenarios {
 		return runScenarios(ctx, *tier, *parallel, *jsonOut, stdout, logger)
@@ -164,8 +168,11 @@ func parseTier(tier string) (scenario.Tier, error) {
 }
 
 // runBench executes the benchmark suite and writes the report to
-// benchOut plus stdout (table, or JSON with -json).
-func runBench(ctx context.Context, tier, scName, benchTime, benchOut string, jsonOut bool, stdout io.Writer, logger *log.Logger) error {
+// benchOut plus stdout (table, or JSON with -json). When benchBase
+// names a committed baseline report, the fresh report is diffed
+// against it and any benchmark more than 2x slower fails the run —
+// the CI perf regression gate.
+func runBench(ctx context.Context, tier, scName, benchTime, benchOut, benchBase string, jsonOut bool, stdout io.Writer, logger *log.Logger) error {
 	t, err := parseTier(tier)
 	if err != nil {
 		return err
@@ -203,10 +210,37 @@ func runBench(ctx context.Context, tier, scName, benchTime, benchOut string, jso
 	}
 	logger.Printf("report written to %s", benchOut)
 
+	checkBaseline := func() error {
+		if benchBase == "" {
+			return nil
+		}
+		raw, err := os.ReadFile(benchBase)
+		if err != nil {
+			return fmt.Errorf("benchbaseline: %w", err)
+		}
+		var base benchkit.Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("benchbaseline %s: %w", benchBase, err)
+		}
+		regressions := benchkit.CompareReports(&base, rep, benchkit.RegressionRatio)
+		if len(regressions) == 0 {
+			logger.Printf("no >%.0fx regressions against %s", benchkit.RegressionRatio, benchBase)
+			return nil
+		}
+		for _, r := range regressions {
+			logger.Printf("REGRESSION %s", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed >%.0fx against %s",
+			len(regressions), benchkit.RegressionRatio, benchBase)
+	}
+
 	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		return checkBaseline()
 	}
 	tb := report.NewTable(
 		fmt.Sprintf("hot-path benchmarks — %s scenario, %s tier (%d dual-stack links)",
@@ -219,13 +253,16 @@ func runBench(ctx context.Context, tier, scName, benchTime, benchOut string, jso
 	if err := tb.Write(stdout); err != nil {
 		return err
 	}
-	cmp := report.NewTable("interned vs map baseline (targets: ≥2× speed, ≤0.7× allocs)",
+	cmp := report.NewTable("interned vs map baseline (per-pair targets in the report)",
 		"comparison", "speedup", "alloc ratio", "targets met")
 	for _, c := range rep.Comparisons {
 		cmp.Row(c.Name, fmt.Sprintf("%.2fx", c.Speedup),
 			fmt.Sprintf("%.2fx", c.AllocRatio), c.MeetsTargets)
 	}
-	return cmp.Write(stdout)
+	if err := cmp.Write(stdout); err != nil {
+		return err
+	}
+	return checkBaseline()
 }
 
 // runScenarios executes the validation matrix and renders it as JSON

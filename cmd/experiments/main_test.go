@@ -91,7 +91,9 @@ func TestRunBenchSmoke(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
-		"ingest/sequential", "join/map", "join/flat",
+		"ingest/sequential", "ingest/visit", "ingest/parallel",
+		"dedup/stringkey", "dedup/interned",
+		"join/map", "join/flat",
 		"inference/map", "inference/flat",
 		"snapshot/encode", "snapshot/decode", "serve/as",
 	} {
@@ -99,8 +101,8 @@ func TestRunBenchSmoke(t *testing.T) {
 			t.Errorf("benchmark %s missing from the suite", want)
 		}
 	}
-	if len(rep.Comparisons) != 2 {
-		t.Fatalf("got %d comparisons, want 2 (join, inference)", len(rep.Comparisons))
+	if len(rep.Comparisons) != 3 {
+		t.Fatalf("got %d comparisons, want 3 (join, inference, dedup)", len(rep.Comparisons))
 	}
 	if rep.Scenario != "tunnel-heavy" || rep.World.DualStack == 0 {
 		t.Errorf("report world looks wrong: %+v", rep.World)

@@ -1,0 +1,47 @@
+package benchkit
+
+import "fmt"
+
+// Regression is one benchmark whose ns/op grew past the allowed ratio
+// relative to a committed baseline report.
+type Regression struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	CurrentNs  float64 `json:"current_ns_per_op"`
+	Ratio      float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx)",
+		r.Name, r.CurrentNs, r.BaselineNs, r.Ratio)
+}
+
+// RegressionRatio is the CI gate: a named benchmark may not be more
+// than this many times slower than the committed baseline.
+const RegressionRatio = 2.0
+
+// CompareReports diffs current against baseline by benchmark name and
+// returns every benchmark whose ns/op grew by more than maxRatio.
+// Benchmarks present in only one report are skipped — the comparison
+// gates regressions in what both reports measured, it does not police
+// suite membership. Pass RegressionRatio for the CI gate.
+func CompareReports(baseline, current *Report, maxRatio float64) []Regression {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var out []Regression
+	for _, r := range current.Results {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > maxRatio {
+			out = append(out, Regression{
+				Name: r.Name, BaselineNs: b.NsPerOp, CurrentNs: r.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package benchkit
+
+import "testing"
+
+func report(pairs ...[2]any) *Report {
+	r := &Report{}
+	for _, p := range pairs {
+		r.Results = append(r.Results, Result{Name: p[0].(string), NsPerOp: p[1].(float64)})
+	}
+	return r
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(
+		[2]any{"ingest/sequential", 1000.0},
+		[2]any{"join/flat", 100.0},
+		[2]any{"gone/benchmark", 50.0},
+	)
+	current := report(
+		[2]any{"ingest/sequential", 2500.0}, // 2.5x: regressed
+		[2]any{"join/flat", 180.0},          // 1.8x: within bounds
+		[2]any{"new/benchmark", 75.0},       // absent from baseline: skipped
+	)
+	regs := CompareReports(base, current, RegressionRatio)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != "ingest/sequential" || r.Ratio < 2.49 || r.Ratio > 2.51 {
+		t.Errorf("regression = %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty regression description")
+	}
+
+	// Identical reports never regress, whatever the threshold.
+	if regs := CompareReports(base, base, 1.0); len(regs) != 0 {
+		t.Errorf("self-comparison flagged %v", regs)
+	}
+	// A zero-ns baseline entry (malformed or hand-edited) is skipped
+	// rather than dividing by zero.
+	zero := report([2]any{"join/flat", 0.0})
+	if regs := CompareReports(zero, current, RegressionRatio); len(regs) != 0 {
+		t.Errorf("zero baseline flagged %v", regs)
+	}
+}

@@ -55,6 +55,14 @@ type Attrs struct {
 	MPUnreach       *MPUnreach
 	AS4Path         ASPath
 	Unknown         []RawAttr
+
+	// mpReachScratch survives Reset so steady-state decoding of RIB
+	// entries (every IPv6 entry carries an MP_REACH next hop) allocates
+	// nothing: DecodeAttrs points MPReach at it when the attribute is
+	// present, reusing its slice capacity. A decoded Attrs therefore
+	// aliases decoder-owned storage; callers that retain one past the
+	// next DecodeAttrs call must Clone it first.
+	mpReachScratch *MPReach
 }
 
 // Options selects wire-format variants.
@@ -85,6 +93,57 @@ func (a *Attrs) Reset() {
 	a.MPUnreach = nil
 	a.AS4Path = a.AS4Path[:0]
 	a.Unknown = a.Unknown[:0]
+}
+
+// Clone deep-copies the attribute set, detaching it from any
+// decoder-owned scratch storage. Empty slices normalize to nil so a
+// clone's shape does not depend on the scratch history of its source.
+func (a *Attrs) Clone() Attrs {
+	out := *a
+	out.mpReachScratch = nil
+	out.ASPath = clonePath(a.ASPath)
+	out.AS4Path = clonePath(a.AS4Path)
+	out.Communities = cloneSlice(a.Communities)
+	if a.Aggregator != nil {
+		agg := *a.Aggregator
+		out.Aggregator = &agg
+	}
+	if a.MPReach != nil {
+		mp := *a.MPReach
+		mp.NextHop = cloneSlice(a.MPReach.NextHop)
+		mp.NLRI = cloneSlice(a.MPReach.NLRI)
+		out.MPReach = &mp
+	}
+	if a.MPUnreach != nil {
+		mp := *a.MPUnreach
+		mp.Withdrawn = cloneSlice(a.MPUnreach.Withdrawn)
+		out.MPUnreach = &mp
+	}
+	if len(a.Unknown) == 0 {
+		out.Unknown = nil
+	} else {
+		out.Unknown = make([]RawAttr, len(a.Unknown))
+		for i, u := range a.Unknown {
+			out.Unknown[i] = RawAttr{Flags: u.Flags, Type: u.Type, Data: cloneSlice(u.Data)}
+		}
+	}
+	return out
+}
+
+// cloneSlice copies s, mapping empty to nil.
+func cloneSlice[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]T(nil), s...)
+}
+
+// clonePath deep-copies an AS path, mapping empty to nil.
+func clonePath(p ASPath) ASPath {
+	if len(p) == 0 {
+		return nil
+	}
+	return p.Clone()
 }
 
 // EffectivePath merges AS_PATH and AS4_PATH per RFC 6793 §4.2.3: when an
@@ -164,13 +223,13 @@ func decodeOneAttr(flags, typ uint8, data []byte, opt Options, out *Attrs) error
 		}
 		out.Origin, out.HasOrigin = Origin(data[0]), true
 	case attrASPath:
-		p, err := decodeASPath(data, opt.ASN4)
+		p, err := decodeASPath(data, opt.ASN4, out.ASPath)
 		if err != nil {
 			return fmt.Errorf("bgp: AS_PATH: %w", err)
 		}
 		out.ASPath = p
 	case attrAS4Path:
-		p, err := decodeASPath(data, true)
+		p, err := decodeASPath(data, true, out.AS4Path)
 		if err != nil {
 			return fmt.Errorf("bgp: AS4_PATH: %w", err)
 		}
@@ -230,7 +289,7 @@ func decodeOneAttr(flags, typ uint8, data []byte, opt Options, out *Attrs) error
 			data = data[4:]
 		}
 	case attrMPReach:
-		mp, err := decodeMPReach(data, opt.RIBMPReach)
+		mp, err := decodeMPReach(data, opt.RIBMPReach, out)
 		if err != nil {
 			return err
 		}
@@ -249,39 +308,66 @@ func decodeOneAttr(flags, typ uint8, data []byte, opt Options, out *Attrs) error
 	return nil
 }
 
-func decodeASPath(b []byte, asn4 bool) (ASPath, error) {
+// decodeASPath parses a packed AS_PATH into `into`'s backing storage:
+// the segment slice and each recycled segment's ASN slice are reused
+// where capacity allows, so a warmed decoder parses paths without
+// allocating. Pass nil to decode into fresh storage.
+func decodeASPath(b []byte, asn4 bool, into ASPath) (ASPath, error) {
 	width := 2
 	if asn4 {
 		width = 4
 	}
-	var path ASPath
+	path := into[:0]
 	for len(b) > 0 {
 		if len(b) < 2 {
 			return nil, fmt.Errorf("%w: segment header", ErrTruncated)
 		}
-		seg := PathSegment{Type: SegType(b[0])}
+		typ := SegType(b[0])
 		count := int(b[1])
 		b = b[2:]
 		need := count * width
 		if len(b) < need {
 			return nil, fmt.Errorf("%w: segment of %d ASNs", ErrTruncated, count)
 		}
-		seg.ASNs = make([]asrel.ASN, count)
-		for i := 0; i < count; i++ {
-			if asn4 {
-				seg.ASNs[i] = asrel.ASN(binary.BigEndian.Uint32(b[i*4:]))
-			} else {
-				seg.ASNs[i] = asrel.ASN(binary.BigEndian.Uint16(b[i*2:]))
+		var asns []asrel.ASN
+		if len(path) < cap(path) {
+			// Recycle the segment beyond len: its ASN slice keeps its
+			// capacity from the previous decode.
+			path = path[:len(path)+1]
+			asns = path[len(path)-1].ASNs
+		} else {
+			path = append(path, PathSegment{})
+		}
+		if cap(asns) < count {
+			asns = make([]asrel.ASN, count)
+		} else {
+			asns = asns[:count]
+		}
+		if asn4 {
+			for i := 0; i < count; i++ {
+				asns[i] = asrel.ASN(binary.BigEndian.Uint32(b[i*4:]))
+			}
+		} else {
+			for i := 0; i < count; i++ {
+				asns[i] = asrel.ASN(binary.BigEndian.Uint16(b[i*2:]))
 			}
 		}
 		b = b[need:]
-		path = append(path, seg)
+		path[len(path)-1] = PathSegment{Type: typ, ASNs: asns}
 	}
 	return path, nil
 }
 
-func decodeMPReach(b []byte, ribMode bool) (*MPReach, error) {
-	mp := &MPReach{}
+// decodeMPReach parses MP_REACH_NLRI into out's scratch MPReach,
+// allocating one only on the first decode; the next-hop and NLRI slices
+// keep their capacity across records.
+func decodeMPReach(b []byte, ribMode bool, out *Attrs) (*MPReach, error) {
+	mp := out.mpReachScratch
+	if mp == nil {
+		mp = &MPReach{}
+		out.mpReachScratch = mp
+	}
+	*mp = MPReach{NextHop: mp.NextHop[:0], NLRI: mp.NLRI[:0]}
 	if ribMode {
 		// RFC 6396 §4.3.4: next-hop length + next hop only.
 		if len(b) < 1 {
@@ -317,7 +403,7 @@ func decodeMPReach(b []byte, ribMode bool) (*MPReach, error) {
 		return nil, err
 	}
 	b = b[nhlen+1:] // skip reserved
-	nlri, err := parseNLRI(b, mp.AFI == AFIIPv6)
+	nlri, err := appendNLRIPrefixes(mp.NLRI, b, mp.AFI == AFIIPv6)
 	if err != nil {
 		return nil, fmt.Errorf("bgp: MP_REACH NLRI: %w", err)
 	}

@@ -88,14 +88,20 @@ func appendNLRI(dst []byte, prefixes []netip.Prefix) ([]byte, error) {
 
 // parseNLRI parses a packed prefix list until b is exhausted.
 func parseNLRI(b []byte, v6 bool) ([]netip.Prefix, error) {
-	var out []netip.Prefix
+	return appendNLRIPrefixes(nil, b, v6)
+}
+
+// appendNLRIPrefixes parses a packed prefix list into dst, reusing its
+// capacity — the allocation-free shape the attribute decoder's scratch
+// reuse depends on.
+func appendNLRIPrefixes(dst []netip.Prefix, b []byte, v6 bool) ([]netip.Prefix, error) {
 	for len(b) > 0 {
 		p, n, err := readWirePrefix(b, v6)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		b = b[n:]
 	}
-	return out, nil
+	return dst, nil
 }

@@ -207,6 +207,16 @@ func (p ASPath) Flatten() []asrel.ASN {
 	return out
 }
 
+// AppendFlatten appends the concatenation of all segment members to
+// dst — Flatten without the allocation, for callers that own a reusable
+// scratch slice.
+func (p ASPath) AppendFlatten(dst []asrel.ASN) []asrel.ASN {
+	for _, s := range p {
+		dst = append(dst, s.ASNs...)
+	}
+	return dst
+}
+
 // Origin returns the last AS of the path (the route originator) and true,
 // or 0 and false for an empty path or when the final segment is an
 // AS_SET (aggregated origin is ambiguous).

@@ -1,0 +1,97 @@
+package dataset
+
+// Allocation pins for the zero-allocation ingest path: CleanPath's
+// fast path on already-canonical input, and AddPath's steady state on
+// paths the dataset has already seen.
+
+import (
+	"net/netip"
+	"testing"
+
+	"hybridrel/internal/asrel"
+)
+
+// TestCleanPathFastPathNoAlloc pins the satellite contract: a raw path
+// with no prepending to collapse passes through CleanPath without a
+// single allocation — and without a copy: the result is raw itself.
+func TestCleanPathFastPathNoAlloc(t *testing.T) {
+	raw := []asrel.ASN{10, 20, 30, 40, 50}
+	got, err := CleanPath(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &raw[0] {
+		t.Error("clean input was copied; fast path must return raw itself")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := CleanPath(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CleanPath on clean input allocates %.1f objects/op, want 0", allocs)
+	}
+	// Loops hiding in clean-shaped paths are still rejected, still
+	// without allocating the result.
+	if _, err := CleanPath([]asrel.ASN{1, 2, 3, 1}); err == nil {
+		t.Error("loop in clean-shaped path accepted")
+	}
+	// A long clean path crosses into the map-checked branch and must
+	// still pass through uncopied.
+	long := make([]asrel.ASN, cleanPathQuadraticMax+8)
+	for i := range long {
+		long[i] = asrel.ASN(i + 1)
+	}
+	got, err = CleanPath(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &long[0] {
+		t.Error("long clean input was copied")
+	}
+	long[len(long)-1] = long[0]
+	if _, err := CleanPath(long); err == nil {
+		t.Error("loop in long clean-shaped path accepted")
+	}
+}
+
+// TestCleanPathSlowPathStillCopies pins the other branch: prepended
+// input is collapsed into a fresh slice, as before.
+func TestCleanPathSlowPathStillCopies(t *testing.T) {
+	raw := []asrel.ASN{1, 1, 2, 3}
+	got, err := CleanPath(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || &got[0] == &raw[0] {
+		t.Errorf("collapsed path = %v (aliases raw: %v)", got, &got[0] == &raw[0])
+	}
+}
+
+// TestAddPathDuplicateNoAlloc pins the dedup hot path: re-observing a
+// path the dataset already holds costs a hash probe and a counter —
+// zero allocations.
+func TestAddPathDuplicateNoAlloc(t *testing.T) {
+	d := New(asrel.IPv4)
+	path := []asrel.ASN{1, 2, 3, 4}
+	if err := d.AddPath(path, netip.Prefix{}, nil, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up duplicates so the table and scratch have settled.
+	for i := 0; i < 8; i++ {
+		if err := d.AddPath(path, netip.Prefix{}, nil, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := d.AddPath(path, netip.Prefix{}, nil, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate AddPath allocates %.1f objects/op, want 0", allocs)
+	}
+	if d.NumUniquePaths() != 1 {
+		t.Fatalf("unique paths = %d, want 1", d.NumUniquePaths())
+	}
+}

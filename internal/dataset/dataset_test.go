@@ -121,6 +121,36 @@ func TestOriginEmptyPath(t *testing.T) {
 	}
 }
 
+// TestPrefixRoundTripExtremes pins the packed inline prefix against
+// the boundary lengths: /0, /32 and a /128 host route (128 overflows a
+// signed byte — the regression this guards) must survive AddPath →
+// Paths intact.
+func TestPrefixRoundTripExtremes(t *testing.T) {
+	d := New(asrel.IPv6)
+	want := []netip.Prefix{
+		netip.MustParsePrefix("2001:db8::1/128"),
+		netip.MustParsePrefix("::/0"),
+		netip.MustParsePrefix("2001:db8::/32"),
+	}
+	for _, p := range want {
+		if err := d.AddPath([]asrel.ASN{1, 2}, p, nil, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Paths()[0].Prefixes
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("prefixes round-tripped as %v, want %v", got, want)
+	}
+	d4 := New(asrel.IPv4)
+	p4 := netip.MustParsePrefix("192.0.2.1/32")
+	if err := d4.AddPath([]asrel.ASN{1, 2}, p4, nil, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := d4.Paths()[0].Prefixes; len(got) != 1 || got[0] != p4 {
+		t.Fatalf("v4 host route round-tripped as %v, want %v", got, p4)
+	}
+}
+
 func TestAddPathLoopCounted(t *testing.T) {
 	d := New(asrel.IPv4)
 	if err := d.AddPath([]asrel.ASN{1, 2, 1}, netip.Prefix{}, nil, 0, false); err == nil {
@@ -268,7 +298,7 @@ func TestMergeMatchesSequential(t *testing.T) {
 			{[]asrel.ASN{1, 2, 3}, netip.MustParsePrefix("10.0.3.0/24")}, // dup path, new prefix
 			{[]asrel.ASN{1, 2, 3}, netip.MustParsePrefix("10.0.0.0/24")}, // dup path, dup prefix
 			{[]asrel.ASN{6, 2, 3}, netip.MustParsePrefix("10.0.4.0/24")}, // new path, shared link
-			{[]asrel.ASN{7, 8, 7}, netip.Prefix{}},                      // loop, dropped
+			{[]asrel.ASN{7, 8, 7}, netip.Prefix{}},                       // loop, dropped
 		},
 	}
 	seq := New(asrel.IPv4)

@@ -1,0 +1,83 @@
+package intern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hybridrel/internal/asrel"
+)
+
+// TestCountsAccumMatchesBuildCounts pins the accumulator against the
+// sort-based reference on a randomized occurrence stream.
+func TestCountsAccumMatchesBuildCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var seq []asrel.LinkKey
+	var acc CountsAccum
+	for i := 0; i < 5000; i++ {
+		k := asrel.Key(asrel.ASN(rng.Intn(80)), asrel.ASN(rng.Intn(80)+1))
+		seq = append(seq, k)
+		acc.Add(k, 1)
+	}
+	want := BuildCounts(seq)
+	got := acc.Freeze()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("accumulator froze %d links, reference has %d (or counts differ)", got.Len(), want.Len())
+	}
+	if acc.Len() != want.Len() {
+		t.Errorf("Len = %d, want %d", acc.Len(), want.Len())
+	}
+}
+
+// TestCountsAccumZeroKey pins the all-zero link: empty slots are marked
+// by a zero count, so the {0,0} key must still round-trip.
+func TestCountsAccumZeroKey(t *testing.T) {
+	var acc CountsAccum
+	acc.Add(asrel.LinkKey{}, 1)
+	acc.Add(asrel.LinkKey{}, 2)
+	c := acc.Freeze()
+	if c.Len() != 1 || c.Get(asrel.LinkKey{}) != 3 {
+		t.Fatalf("zero key count = %d over %d links, want 3 over 1", c.Get(asrel.LinkKey{}), c.Len())
+	}
+}
+
+// TestCountsAccumSteadyStateNoAlloc pins the ingest property the
+// dataset layer depends on: once the table has grown to fit the
+// distinct-link population, further occurrences allocate nothing.
+func TestCountsAccumSteadyStateNoAlloc(t *testing.T) {
+	var acc CountsAccum
+	keys := make([]asrel.LinkKey, 24)
+	for i := range keys {
+		keys[i] = asrel.Key(asrel.ASN(i), asrel.ASN(i+1))
+		acc.Add(keys[i], 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			acc.Add(k, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Add allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestSubCounts pins the merge-path correction: subtraction is
+// per-link, zeroed links drop out, untouched links pass through.
+func TestSubCounts(t *testing.T) {
+	a := BuildCounts([]asrel.LinkKey{
+		asrel.Key(1, 2), asrel.Key(1, 2), asrel.Key(2, 3), asrel.Key(3, 4),
+	})
+	b := BuildCounts([]asrel.LinkKey{asrel.Key(1, 2), asrel.Key(2, 3)})
+	got := SubCounts(a, b)
+	if got.Len() != 2 {
+		t.Fatalf("SubCounts kept %d links, want 2", got.Len())
+	}
+	if got.Get(asrel.Key(1, 2)) != 1 || got.Get(asrel.Key(3, 4)) != 1 || got.Has(asrel.Key(2, 3)) {
+		t.Errorf("SubCounts contents wrong: vis(1-2)=%d vis(3-4)=%d has(2-3)=%v",
+			got.Get(asrel.Key(1, 2)), got.Get(asrel.Key(3, 4)), got.Has(asrel.Key(2, 3)))
+	}
+	// Subtracting an empty set is the identity.
+	if SubCounts(a, BuildCounts(nil)) != a {
+		t.Error("subtracting empty did not return the input")
+	}
+}

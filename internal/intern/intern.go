@@ -39,34 +39,79 @@ func Unpack(u uint64) asrel.LinkKey {
 
 // Interner assigns dense uint32 identifiers to AS numbers in first-seen
 // order. IDs index plain slices where a map keyed by ASN would
-// otherwise be needed. The zero value is not usable; construct with
+// otherwise be needed. The index is its own open-addressed table — an
+// AS-number probe is one multiply-shift hash and a linear scan over a
+// flat int32 array, measurably cheaper than a Go map probe on the
+// ingest hot path. The zero value is not usable; construct with
 // NewInterner.
 type Interner struct {
-	ids  map[asrel.ASN]uint32
-	asns []asrel.ASN
+	asns []asrel.ASN // id → ASN
+	tab  []int32     // open-addressed: id+1, 0 = empty
 }
 
 // NewInterner returns an empty interner.
 func NewInterner() *Interner {
-	return &Interner{ids: make(map[asrel.ASN]uint32)}
+	return &Interner{tab: make([]int32, 64)}
+}
+
+// hashASN scrambles an AS number into a table slot seed.
+func hashASN(a asrel.ASN) uint64 {
+	u := uint64(a) * 0x9E3779B97F4A7C15
+	return u ^ (u >> 29)
 }
 
 // Intern returns the dense ID of a, assigning the next free one on
 // first sight.
 func (in *Interner) Intern(a asrel.ASN) uint32 {
-	if id, ok := in.ids[a]; ok {
-		return id
+	mask := uint64(len(in.tab) - 1)
+	i := hashASN(a) & mask
+	for {
+		e := in.tab[i]
+		if e == 0 {
+			break
+		}
+		if in.asns[e-1] == a {
+			return uint32(e - 1)
+		}
+		i = (i + 1) & mask
 	}
 	id := uint32(len(in.asns))
-	in.ids[a] = id
 	in.asns = append(in.asns, a)
+	in.tab[i] = int32(id) + 1
+	if (len(in.asns)+1)*4 > len(in.tab)*3 {
+		in.grow()
+	}
 	return id
+}
+
+// grow doubles the probe table and reinserts every assigned id.
+func (in *Interner) grow() {
+	tab := make([]int32, len(in.tab)*2)
+	mask := uint64(len(tab) - 1)
+	for id, a := range in.asns {
+		i := hashASN(a) & mask
+		for tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		tab[i] = int32(id) + 1
+	}
+	in.tab = tab
 }
 
 // Lookup returns the ID of a without assigning one.
 func (in *Interner) Lookup(a asrel.ASN) (uint32, bool) {
-	id, ok := in.ids[a]
-	return id, ok
+	mask := uint64(len(in.tab) - 1)
+	i := hashASN(a) & mask
+	for {
+		e := in.tab[i]
+		if e == 0 {
+			return 0, false
+		}
+		if in.asns[e-1] == a {
+			return uint32(e - 1), true
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // ASN inverts Intern. It panics on an unassigned ID, mirroring slice

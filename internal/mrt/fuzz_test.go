@@ -90,28 +90,68 @@ func FuzzReader(f *testing.F) {
 	under := record(13, 2, []byte{0, 0, 0, 7, 24, 10, 9, 0, 0, 0})
 	binary.BigEndian.PutUint32(under[8:12], 4)
 	f.Add(under)
+	// An oversized record (beyond the reader's retained-scratch cap, so
+	// it decodes from a one-off buffer) followed by a minimal one:
+	// guards the scratch-shrink logic on the visitor path. The same
+	// shape is committed as seed-scratch-shrink.
+	f.Add(scratchShrinkSeed())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The reader must never panic on untrusted bytes: it returns
 		// records until the first malformed one, then a descriptive
 		// error (or a clean EOF).
 		r := mrt.NewReader(bytes.NewReader(data))
+		nextCount := 0
+		var nextErr error
 		for {
 			rec, err := r.Next()
 			if err == io.EOF {
-				return
+				break
 			}
 			if err != nil {
 				if err.Error() == "" {
 					t.Fatal("malformed record produced an empty error")
 				}
-				return
+				nextErr = err
+				break
 			}
 			if rec.Message == nil {
 				t.Fatal("decoded record carries a nil message")
 			}
+			nextCount++
+		}
+		// The visitor path is the same decoder without the clone: it
+		// must agree with the Next loop on both the record count and
+		// the success-vs-error outcome.
+		v := mrt.NewReader(bytes.NewReader(data))
+		visitCount := 0
+		visitErr := v.Visit(func(rec *mrt.Record) error {
+			if rec.Message == nil {
+				t.Fatal("visited record carries a nil message")
+			}
+			visitCount++
+			return nil
+		})
+		if visitCount != nextCount {
+			t.Fatalf("visitor decoded %d records, Next loop %d", visitCount, nextCount)
+		}
+		if (visitErr == nil) != (nextErr == nil) {
+			t.Fatalf("visitor error %v, Next loop error %v", visitErr, nextErr)
+		}
+		if visitErr != nil && visitErr.Error() == "" {
+			t.Fatal("visitor produced an empty error")
 		}
 	})
+}
+
+// scratchShrinkSeed builds the oversized-then-minimal record pair: the
+// first record's body exceeds the reader's retained-scratch cap (64
+// KiB), the second is a minimal follow-on proving the stream stays in
+// sync after the one-off buffer.
+func scratchShrinkSeed() []byte {
+	big := bytes.Repeat([]byte{'a'}, 66*1024)
+	seed := record(99, 0, big)
+	return append(seed, record(99, 0, []byte{'b'})...)
 }
 
 // TestWriteFuzzCorpus regenerates the committed seed corpus from the
@@ -135,4 +175,5 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	write("seed-ipv4-archive", arch.MRT4[0])
 	write("seed-ipv6-archive", arch.MRT6[0])
 	write("seed-ipv4-truncated", arch.MRT4[0][:len(arch.MRT4[0])/3])
+	write("seed-scratch-shrink", scratchShrinkSeed())
 }

@@ -58,6 +58,46 @@ type Record struct {
 	Message Message
 }
 
+// Clone deep-copies the record, detaching it from any reader-owned
+// scratch — the escape hatch for Visit callbacks that must retain a
+// record past their return.
+func (r *Record) Clone() *Record {
+	out := *r
+	out.Message = cloneMessage(r.Message)
+	return &out
+}
+
+// cloneMessage deep-copies a decoded message value.
+func cloneMessage(m Message) Message {
+	switch m := m.(type) {
+	case *RIB:
+		out := &RIB{Seq: m.Seq, Prefix: m.Prefix}
+		if len(m.Entries) > 0 {
+			out.Entries = make([]RIBEntry, len(m.Entries))
+			for i := range m.Entries {
+				e := &m.Entries[i]
+				out.Entries[i] = RIBEntry{
+					PeerIndex:    e.PeerIndex,
+					OriginatedAt: e.OriginatedAt,
+					Attrs:        e.Attrs.Clone(),
+				}
+			}
+		}
+		return out
+	case *PeerIndexTable:
+		out := *m
+		out.Peers = append([]Peer(nil), m.Peers...)
+		return &out
+	case *BGP4MPMessage:
+		out := *m
+		out.Data = append([]byte(nil), m.Data...)
+		return &out
+	case RawMessage:
+		return RawMessage(append([]byte(nil), m...))
+	}
+	return m
+}
+
 // Message is a decoded MRT record body.
 type Message interface{ isMRTMessage() }
 
@@ -123,16 +163,21 @@ type RawMessage []byte
 
 func (RawMessage) isMRTMessage() {}
 
-func decodeRecord(hdrType, subtype uint16, body []byte) (Message, error) {
+// decodeShared dispatches one record body to its per-type decoder,
+// reusing the reader's shared message values where the type has one.
+// The returned Message (including RawMessage bodies and BGP4MP
+// payloads) aliases the reader's scratch; Visit's no-retain contract is
+// what makes that safe.
+func (r *Reader) decodeShared(hdrType, subtype uint16, body []byte) (Message, error) {
 	switch hdrType {
 	case TypeTableDumpV2:
 		switch subtype {
 		case SubtypePeerIndexTable:
 			return decodePeerIndexTable(body)
 		case SubtypeRIBIPv4Unicast:
-			return decodeRIB(body, false)
+			return decodeRIBInto(body, false, &r.rib)
 		case SubtypeRIBIPv6Unicast:
-			return decodeRIB(body, true)
+			return decodeRIBInto(body, true, &r.rib)
 		}
 	case TypeBGP4MP, TypeBGP4MPET:
 		if hdrType == TypeBGP4MPET {
@@ -144,12 +189,12 @@ func decodeRecord(hdrType, subtype uint16, body []byte) (Message, error) {
 		}
 		switch subtype {
 		case SubtypeMessage:
-			return decodeBGP4MP(body, false)
+			return decodeBGP4MPInto(body, false, &r.b4)
 		case SubtypeMessageAS4:
-			return decodeBGP4MP(body, true)
+			return decodeBGP4MPInto(body, true, &r.b4)
 		}
 	}
-	return RawMessage(append([]byte(nil), body...)), nil
+	return RawMessage(body), nil
 }
 
 func decodePeerIndexTable(b []byte) (*PeerIndexTable, error) {
@@ -218,11 +263,16 @@ func decodePeerIndexTable(b []byte) (*PeerIndexTable, error) {
 // always four-byte ASNs, abbreviated MP_REACH (RFC 6396 §4.3.4).
 var ribAttrOptions = bgp.Options{ASN4: true, RIBMPReach: true}
 
-func decodeRIB(b []byte, v6 bool) (*RIB, error) {
+// decodeRIBInto parses a TABLE_DUMP_V2 RIB record into rib, reusing its
+// entry slice and each recycled entry's decoded attribute storage —
+// the zero-allocation shape of the visitor hot path.
+func decodeRIBInto(b []byte, v6 bool, rib *RIB) (*RIB, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: RIB sequence", bgp.ErrTruncated)
 	}
-	rib := &RIB{Seq: binary.BigEndian.Uint32(b)}
+	rib.Seq = binary.BigEndian.Uint32(b)
+	rib.Prefix = netip.Prefix{}
+	rib.Entries = rib.Entries[:0]
 	b = b[4:]
 	prefix, n, err := readRIBPrefix(b, v6)
 	if err != nil {
@@ -235,12 +285,19 @@ func decodeRIB(b []byte, v6 bool) (*RIB, error) {
 	}
 	count := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
-	rib.Entries = make([]RIBEntry, 0, count)
 	for i := 0; i < count; i++ {
 		if len(b) < 8 {
 			return nil, fmt.Errorf("%w: RIB entry %d header", bgp.ErrTruncated, i)
 		}
-		var e RIBEntry
+		if i < cap(rib.Entries) {
+			// Recycle the entry beyond len: its Attrs keeps the slice
+			// capacity (AS path segments, communities, MP_REACH scratch)
+			// from the record it previously decoded.
+			rib.Entries = rib.Entries[:i+1]
+		} else {
+			rib.Entries = append(rib.Entries, RIBEntry{})
+		}
+		e := &rib.Entries[i]
 		e.PeerIndex = binary.BigEndian.Uint16(b)
 		e.OriginatedAt = time.Unix(int64(binary.BigEndian.Uint32(b[2:])), 0).UTC()
 		alen := int(binary.BigEndian.Uint16(b[6:]))
@@ -252,7 +309,6 @@ func decodeRIB(b []byte, v6 bool) (*RIB, error) {
 			return nil, fmt.Errorf("mrt: RIB entry %d: %w", i, err)
 		}
 		b = b[alen:]
-		rib.Entries = append(rib.Entries, e)
 	}
 	return rib, nil
 }
@@ -266,7 +322,9 @@ func readRIBPrefix(b []byte, v6 bool) (netip.Prefix, int, error) {
 	return p, n, nil
 }
 
-func decodeBGP4MP(b []byte, as4 bool) (*BGP4MPMessage, error) {
+// decodeBGP4MPInto parses a BGP4MP message record into m. Data aliases
+// the record body (the caller's scratch); Record.Clone detaches it.
+func decodeBGP4MPInto(b []byte, as4 bool, m *BGP4MPMessage) (*BGP4MPMessage, error) {
 	asWidth := 2
 	if as4 {
 		asWidth = 4
@@ -275,7 +333,7 @@ func decodeBGP4MP(b []byte, as4 bool) (*BGP4MPMessage, error) {
 	if len(b) < need {
 		return nil, fmt.Errorf("%w: BGP4MP header", bgp.ErrTruncated)
 	}
-	m := &BGP4MPMessage{AS4: as4}
+	*m = BGP4MPMessage{AS4: as4}
 	if as4 {
 		m.PeerAS = asrel.ASN(binary.BigEndian.Uint32(b))
 		m.LocalAS = asrel.ASN(binary.BigEndian.Uint32(b[4:]))
@@ -297,8 +355,7 @@ func decodeBGP4MP(b []byte, as4 bool) (*BGP4MPMessage, error) {
 	}
 	m.PeerAddr = addrFromSlice(b[:addrLen])
 	m.LocalAddr = addrFromSlice(b[addrLen : 2*addrLen])
-	b = b[2*addrLen:]
-	m.Data = append([]byte(nil), b...)
+	m.Data = b[2*addrLen:]
 	return m, nil
 }
 

@@ -1,0 +1,221 @@
+package mrt
+
+// Tests for the visitor decode path: equivalence with Next, the
+// zero-allocation steady state, the no-retain scratch reuse contract,
+// and the bounded retained body scratch.
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// manyRecordArchive builds an archive with a peer index table plus n
+// alternating v4/v6 RIB records.
+func manyRecordArchive(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(testTime, testPeerTable()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var rib *RIB
+		if i%2 == 0 {
+			rib = v4RIB(t)
+		} else {
+			rib = v6RIB(t)
+		}
+		rib.Seq = uint32(i)
+		if err := w.WriteRIB(testTime.Add(time.Duration(i)*time.Second), rib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestVisitMatchesNext pins the compatibility contract: cloning every
+// record the visitor produces yields exactly the records ReadAll (the
+// Next loop) returns.
+func TestVisitMatchesNext(t *testing.T) {
+	archive := manyRecordArchive(t, 64)
+	want, err := ReadAll(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Record
+	r := NewReader(bytes.NewReader(archive))
+	if err := r.Visit(func(rec *Record) error {
+		got = append(got, rec.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("visit produced %d records, Next loop %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d differs:\nvisit: %+v\nnext:  %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVisitReusesRecord pins the no-retain contract from the other
+// side: the pointer handed to the callback is the same every time, and
+// its contents are overwritten by the next record — exactly what the
+// zero-allocation design promises and what callers must copy around.
+func TestVisitReusesRecord(t *testing.T) {
+	archive := manyRecordArchive(t, 8)
+	var first *Record
+	var lastSeq uint32
+	count := 0
+	r := NewReader(bytes.NewReader(archive))
+	if err := r.Visit(func(rec *Record) error {
+		if count == 0 {
+			first = rec
+		} else if rec != first {
+			t.Fatal("visitor handed out a new Record pointer")
+		}
+		if rib, ok := rec.Message.(*RIB); ok {
+			lastSeq = rib.Seq
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 9 {
+		t.Fatalf("visited %d records, want 9", count)
+	}
+	// After the walk the shared record holds the last RIB, not the first.
+	if rib, ok := first.Message.(*RIB); !ok || rib.Seq != lastSeq || lastSeq != 7 {
+		t.Fatalf("retained record = %+v, want the final RIB (seq 7)", first.Message)
+	}
+}
+
+// TestVisitSteadyStateAllocs pins the headline property: one full pass
+// over a many-record archive allocates O(1) — the reader, its buffers,
+// and the (once-per-archive) peer index table — not O(records).
+func TestVisitSteadyStateAllocs(t *testing.T) {
+	const n = 512
+	archive := manyRecordArchive(t, n)
+	r := NewReader(bytes.NewReader(archive))
+	visit := func() {
+		count := 0
+		if err := r.Visit(func(rec *Record) error {
+			count++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != n+1 {
+			t.Fatalf("visited %d records, want %d", count, n+1)
+		}
+	}
+	visit() // warm the scratch: entry slices, AS paths, MP_REACH
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Reset(bytes.NewReader(archive))
+		visit()
+	})
+	// Budget: the bytes.Reader, the peer index table and its slices —
+	// all O(1) per archive. 512 RIB records must contribute nothing.
+	if allocs > 16 {
+		t.Fatalf("visit pass allocates %.1f objects for %d records; want O(1)", allocs, n)
+	}
+}
+
+// TestVisitErrorStopsStream confirms the visitor surfaces decode errors
+// and fn errors, and stops on them.
+func TestVisitErrorStopsStream(t *testing.T) {
+	bad := rawRecord(TypeTableDumpV2, SubtypeRIBIPv4Unicast, 2, []byte{0, 0})
+	r := NewReader(bytes.NewReader(append(manyRecordArchive(t, 2), bad...)))
+	count := 0
+	if err := r.Visit(func(*Record) error { count++; return nil }); err == nil {
+		t.Fatal("malformed trailing record not reported")
+	}
+	if count != 3 {
+		t.Fatalf("visited %d records before the error, want 3", count)
+	}
+
+	sentinel := io.ErrClosedPipe
+	r = NewReader(bytes.NewReader(manyRecordArchive(t, 4)))
+	count = 0
+	err := r.Visit(func(*Record) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || count != 2 {
+		t.Fatalf("fn error: visited %d, err %v; want 2, %v", count, err, sentinel)
+	}
+}
+
+// TestReaderScratchBounded pins the retained-scratch cap: a record
+// larger than maxRetainedBody decodes fine, but must not pin its body
+// buffer on the reader for the rest of the archive.
+func TestReaderScratchBounded(t *testing.T) {
+	big := make([]byte, maxRetainedBody+4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	var stream []byte
+	stream = append(stream, rawRecord(99, 0, uint32(len(big)), big)...)
+	stream = append(stream, rawRecord(99, 0, 3, []byte{1, 2, 3})...)
+	stream = append(stream, manyRecordArchive(t, 4)...)
+
+	r := NewReader(bytes.NewReader(stream))
+	sizes := []int{}
+	if err := r.Visit(func(rec *Record) error {
+		if raw, ok := rec.Message.(RawMessage); ok {
+			sizes = append(sizes, len(raw))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != len(big) || sizes[1] != 3 {
+		t.Fatalf("raw record sizes = %v", sizes)
+	}
+	if cap(r.body) > maxRetainedBody {
+		t.Fatalf("retained body scratch is %d bytes after an oversized record; cap is %d",
+			cap(r.body), maxRetainedBody)
+	}
+
+	// The oversized body must decode correctly despite the one-off buffer.
+	r = NewReader(bytes.NewReader(stream))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, ok := rec.Message.(RawMessage); !ok || !bytes.Equal(raw, big) {
+		t.Fatal("oversized record body mangled")
+	}
+}
+
+// TestReaderReset pins the pooling contract: one reader drains two
+// archives back to back, with offsets (and thus error messages)
+// restarting from zero.
+func TestReaderReset(t *testing.T) {
+	archive := manyRecordArchive(t, 4)
+	r := NewReader(bytes.NewReader(archive))
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Reset(bytes.NewReader(archive[:headerLen+2])) // truncated mid-body
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated archive after Reset: %v", err)
+	}
+	if want := "offset 0"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("error after Reset does not restart offsets: %v", err)
+	}
+}

@@ -218,8 +218,10 @@ func (c *ctxReader) Read(b []byte) (int, error) {
 }
 
 // Ingest runs the ingestion stage: every archive of both planes is
-// decoded by its own worker into a dataset shard, the IRR database is
-// parsed alongside, and the shards are merged in archive order, which
+// decoded by its own worker into a dataset shard — each shard with its
+// own interner, path arena, and link accumulator, so workers share no
+// state — the IRR database is parsed alongside, and the frozen shards
+// are merged in archive order with linear two-pointer walks, which
 // makes the merged datasets identical to sequential ingestion. At
 // parallelism one the stage skips the shards and workers entirely and
 // ingests straight into the final datasets in archive order — the same
@@ -255,6 +257,11 @@ func (p *Pipeline) Ingest(ctx context.Context, in Sources) (*Result, error) {
 			if err := p.ingestOne(ctx, af, src, d); err != nil {
 				return err
 			}
+			// Freeze the shard inside the worker: the flat link fold and
+			// the canonical path sort happen in parallel across shards,
+			// leaving only linear two-pointer walks for the ordered
+			// merge below.
+			d.Freeze()
 			*slot = d
 			archiveDone(src.Name(), af)
 			return nil

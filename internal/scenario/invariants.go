@@ -85,7 +85,9 @@ func checkInterned(a *core.Analysis) error {
 	// Flat relationship lookups must agree with the map tables on every
 	// observed link of each plane, in both orientations.
 	for _, plane := range []struct {
-		d    interface{ EachLink(func(asrel.LinkKey, int)) }
+		d interface {
+			EachLink(func(asrel.LinkKey, int))
+		}
 		flat *intern.Table
 		m    *asrel.Table
 		name string

@@ -330,7 +330,7 @@ func buildState(snap *snapshot.Snapshot) *state {
 	shared := make([]int32, total)
 	var off int32
 	for i, n := range counts {
-		st.entries[i].hybrids = shared[off:off:off+n]
+		st.entries[i].hybrids = shared[off : off : off+n]
 		off += n
 	}
 	for i, h := range snap.Hybrids {
