@@ -96,13 +96,14 @@ func TestRunBenchSmoke(t *testing.T) {
 		"join/map", "join/flat",
 		"inference/map", "inference/flat",
 		"snapshot/encode", "snapshot/decode", "serve/as",
+		"infer/full", "infer/incremental",
 	} {
 		if !names[want] {
 			t.Errorf("benchmark %s missing from the suite", want)
 		}
 	}
-	if len(rep.Comparisons) != 3 {
-		t.Fatalf("got %d comparisons, want 3 (join, inference, dedup)", len(rep.Comparisons))
+	if len(rep.Comparisons) != 4 {
+		t.Fatalf("got %d comparisons, want 4 (join, inference, dedup, live-infer)", len(rep.Comparisons))
 	}
 	if rep.Scenario != "tunnel-heavy" || rep.World.DualStack == 0 {
 		t.Errorf("report world looks wrong: %+v", rep.World)
@@ -164,7 +165,7 @@ func TestRunScenariosJSON(t *testing.T) {
 		t.Fatalf("matrix reported %d scenarios, want >= 6", len(results))
 	}
 	for _, r := range results {
-		if len(r.Invariants) != 4 || !(&r).InvariantsOK() {
+		if len(r.Invariants) != 5 || !(&r).InvariantsOK() {
 			t.Errorf("%s: invariants %+v", r.Name, r.Invariants)
 		}
 		if len(r.Planes) != 2 {

@@ -7,21 +7,31 @@
 //   - raw measurement data (-irr, -v4, -v6), running the v2 pipeline
 //     once at startup and serving the result;
 //   - a synthetic world (-synth small|default), handy for demos and
-//     load tests with no data on disk.
+//     load tests with no data on disk;
+//   - a live synthetic BGP feed (-live small|default): the world's
+//     routing table is converged once, then churned forever as a
+//     paced stream of UPDATE announcements and withdrawals through
+//     the internal/live ingester, with the re-inferred snapshot
+//     hot-swapped into the serving state on a cadence.
 //
 // The process hot-reloads without dropping a request: SIGHUP or POST
 // /v1/reload re-runs the loader (re-reads the snapshot file or re-runs
-// the pipeline) and atomically swaps the indexed state. SIGINT/SIGTERM
-// shut down gracefully.
+// the pipeline) and atomically swaps the indexed state; in -live mode
+// the stream itself drives the swaps and /v1/stats exposes the swap
+// generation and snapshot age. SIGINT/SIGTERM shut down gracefully —
+// live mode drains buffered updates and installs one final snapshot
+// before the listener closes.
 //
 // Usage:
 //
 //	hybridserve -snapshot out.bin [-addr :8080]
 //	hybridserve -irr irr.db -v4 ribs4/ -v6 ribs6/ [-addr :8080] [-parallel N]
 //	hybridserve -synth small [-addr :8080]
+//	hybridserve -live small [-addr :8080] [-live-rate 200] [-live-every 256] [-live-interval 2s]
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -36,8 +46,14 @@ import (
 	"time"
 
 	"hybridrel"
+	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/cli"
+	"hybridrel/internal/community"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/live"
+	"hybridrel/internal/rpsl"
 	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
 )
 
 func main() { cli.Main("hybridserve", run) }
@@ -56,11 +72,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		v4List   = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
 		v6List   = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
 		synth    = fs.String("synth", "", "serve a synthetic world: small | default")
+		liveMode = fs.String("live", "", "stream a live synthetic BGP feed: small | default")
+		liveRate = fs.Int("live-rate", 200, "live mode: updates per second streamed into the ingester")
+		liveEvr  = fs.Int("live-every", 256, "live mode: hot-swap a snapshot after this many applied updates")
+		liveIvl  = fs.Duration("live-interval", 2*time.Second, "live mode: also hot-swap on this timer when updates arrived")
 		parallel = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
 		grace    = fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+
+	if *liveMode != "" {
+		if *snapPath != "" || *irrPath != "" || *v4List != "" || *v6List != "" || *synth != "" {
+			fmt.Fprintln(stderr, "hybridserve: -live cannot be combined with other source modes")
+			return cli.ErrUsage
+		}
+		return runLive(*liveMode, *addr, *liveRate, *liveEvr, *liveIvl, *grace, logger)
 	}
 
 	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel)
@@ -124,6 +152,143 @@ func run(args []string, stdout, stderr io.Writer) error {
 		stop()
 		logger.Printf("shutting down (in-flight requests get %v)...", *grace)
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	}
+}
+
+// runLive is the -live mode: build a synthetic world, converge its
+// routing table through the streaming ingester, then churn it forever
+// as a paced UPDATE stream, hot-swapping a freshly re-inferred
+// snapshot into the serving state on the configured cadence. Shutdown
+// drains: buffered updates are applied and one final snapshot is
+// installed before the listener closes.
+func runLive(scale, addr string, rate, every int, interval, grace time.Duration, logger *log.Logger) error {
+	cfg := gen.DefaultConfig()
+	switch scale {
+	case "small":
+		cfg = gen.SmallConfig()
+	case "default":
+	default:
+		return fmt.Errorf("unknown -live scale %q (want small or default)", scale)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	in, err := gen.Build(cfg)
+	if err != nil {
+		return err
+	}
+	var irr bytes.Buffer
+	if err := in.WriteIRR(&irr); err != nil {
+		return err
+	}
+	objs, _, err := rpsl.Parse(&irr)
+	if err != nil {
+		return err
+	}
+	ap := live.NewApplier(live.Config{Dict: community.FromIRR(objs)})
+
+	// Converge once synchronously so the server starts with a full
+	// table, then stream only churn.
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: cfg.Seed ^ 0x11fe, ChurnEvents: 1000})
+	if err != nil {
+		return err
+	}
+	n := feed.NumRoutes()
+	for _, ev := range feed.Events[:n] {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			return err
+		}
+	}
+	snap := ap.Snapshot()
+	srv := serve.New(snap)
+	logger.Printf("live table converged in %v: %d routes, %d hybrids, %d IPv4 links, %d IPv6 links",
+		time.Since(start).Round(time.Millisecond), n,
+		len(snap.Hybrids), len(snap.Links4), len(snap.Links6))
+
+	// Producer: pace the churn tail into the ingester; when a feed is
+	// exhausted, generate the next cycle's flaps against the same
+	// (already converged) table.
+	events := make(chan live.Event, 256)
+	go func() {
+		defer close(events)
+		var pace <-chan time.Time
+		if rate > 0 {
+			t := time.NewTicker(time.Second / time.Duration(rate))
+			defer t.Stop()
+			pace = t.C
+		}
+		for cycle := int64(0); ; cycle++ {
+			f := feed
+			if cycle > 0 {
+				var err error
+				f, err = bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: cfg.Seed ^ 0x11fe ^ cycle, ChurnEvents: 1000})
+				if err != nil {
+					logger.Printf("live feed generation failed, stream ends: %v", err)
+					return
+				}
+			}
+			// Skip the announcement phase: those routes are already
+			// active, re-announcing them would be a no-op.
+			for _, ev := range f.Events[f.NumRoutes():] {
+				if pace != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case <-pace:
+					}
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case events <- live.Event{Vantage: ev.Vantage, Data: ev.Data}:
+				}
+			}
+		}
+	}()
+
+	runner := &live.Runner{
+		Applier: ap,
+		Swap: func(s *snapshot.Snapshot) error {
+			srv.Load(s)
+			logger.Printf("hot-swapped snapshot generation %d: %d hybrids, %d IPv4 links, %d IPv6 links",
+				srv.Generation(), len(s.Hybrids), len(s.Links4), len(s.Links6))
+			return nil
+		},
+		Every:    every,
+		Interval: interval,
+	}
+	runnerDone := make(chan error, 1)
+	go func() { runnerDone <- runner.Run(ctx, events) }()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving live on http://%s (streaming ~%d updates/s, swap every %d updates or %v)",
+		ln.Addr(), rate, every, interval)
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		// Drain the ingester first: Run applies whatever the feed
+		// buffered and installs one final snapshot before returning.
+		if err := <-runnerDone; err != nil {
+			logger.Printf("live ingest ended with: %v", err)
+		}
+		applied, withdrawals := ap.Applied()
+		logger.Printf("drained: %d updates applied (%d withdrawals), final generation %d",
+			applied, withdrawals, srv.Generation())
+		logger.Printf("shutting down (in-flight requests get %v)...", grace)
+		shCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		return hs.Shutdown(shCtx)
 	}

@@ -30,9 +30,11 @@ import (
 	"time"
 
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/core"
 	"hybridrel/internal/dataset"
 	"hybridrel/internal/gen"
+	"hybridrel/internal/live"
 	"hybridrel/internal/mrt"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/scenario"
@@ -54,6 +56,13 @@ const (
 // string-key map dedup does on the same observation stream (the
 // measured baseline is ~0.01×), at no wall-clock cost (speedup ≥ 1).
 const DedupTargetAllocRatio = 0.1
+
+// LiveTargetSpeedup is the live ingester's incremental re-inference
+// gate: with a small flap cycle keeping at most ~1% of a plane's links
+// dirty, the dirty-set resolve must be at least 5× faster than a full
+// recompute of the same state. The allocation gate is permissive (the
+// win is wall-clock; both paths allocate little per op).
+const LiveTargetSpeedup = 5.0
 
 // Options configures a suite run.
 type Options struct {
@@ -378,6 +387,55 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		}
 	})
 
+	// Live incremental re-inference: converge a streaming applier on the
+	// same world, then flap a couple of v4 routes — withdraw and
+	// re-announce, keeping roughly 1% of the plane's links dirty — and
+	// bring the relationship tables back up to date. The pair measures
+	// the dirty-set resolve against a forced full recompute of the
+	// identical state.
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: cfg.Seed ^ 0xF1A9})
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	converge := func() *live.Applier {
+		ap := live.NewApplier(live.Config{Dict: a.Dict, DirtyThreshold: 0.5})
+		for _, ev := range feed.Events {
+			if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+				panic(err)
+			}
+		}
+		ap.Resolve()
+		return ap
+	}
+	var flaps []int
+	for i := 0; i < feed.NumRoutes() && len(flaps) < 2; i++ {
+		if feed.Announce(i).AF == asrel.IPv4 {
+			flaps = append(flaps, i)
+		}
+	}
+	flap := func(ap *live.Applier) {
+		for _, i := range flaps {
+			for _, ev := range []bgpsim.FeedEvent{feed.Withdraw(i), feed.Announce(i)} {
+				if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	apInc := converge()
+	add("infer/incremental", func() {
+		flap(apInc)
+		apInc.Resolve()
+	})
+	apFull := converge()
+	add("infer/full", func() {
+		flap(apFull)
+		apFull.Recompute()
+	})
+	if inc, _ := apInc.Resolves(); inc == 0 {
+		return nil, fmt.Errorf("benchkit: flap cycle never took the incremental path")
+	}
+
 	report.Comparisons = compare(report.Results)
 	return report, nil
 }
@@ -462,6 +520,9 @@ func compare(results []Result) []Comparison {
 		// near-elimination of per-observation allocations without
 		// giving back wall-clock against the string-key map.
 		{"dedup", "dedup/stringkey", "dedup/interned", 1.0, DedupTargetAllocRatio},
+		// Live re-inference: the full recompute is the baseline the
+		// dirty-set path must beat 5× on a small flap cycle.
+		{"live-infer", "infer/full", "infer/incremental", LiveTargetSpeedup, 1.0},
 	} {
 		base, okB := byName[pair.baseline]
 		flat, okF := byName[pair.interned]

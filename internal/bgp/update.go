@@ -90,7 +90,24 @@ func ParseHeader(b []byte) (length int, msgType uint8, err error) {
 	return length, msgType, nil
 }
 
-// ParseUpdate decodes a full UPDATE message (header included) into out.
+// ParseUpdate decodes a full UPDATE message (header included) into out,
+// reusing out's slice capacity across calls so a streaming reader can
+// decode a feed without per-message allocations.
+//
+// Length-field hardening (the lying-length modes the MRT reader guards
+// against): a withdrawn-routes or path-attribute length that declares
+// more bytes than the body holds fails with ErrTruncated before any
+// slicing, and the per-prefix decoder re-checks every prefix's byte
+// need against the declared section, so a length field can never make
+// the parser read past the section or the message. The one mode no
+// wire-format parser can detect is an under-declared withdrawn length
+// that happens to cut at a prefix boundary: the remaining withdrawn
+// bytes then parse as path attributes and fail there (or desync) — the
+// framing gives no redundancy to catch it, so callers must treat any
+// ParseUpdate error as fatal for the session, per RFC 4271 §6.3.
+// Bytes between the end of the declared sections and the header length
+// are NLRI by definition; bytes past the header length are the next
+// message's and are ignored here (framing is ParseHeader's job).
 func ParseUpdate(b []byte, opt Options, out *Update) error {
 	out.Reset()
 	length, typ, err := ParseHeader(b)
@@ -113,7 +130,7 @@ func ParseUpdate(b []byte, opt Options, out *Update) error {
 	if len(body) < wdLen {
 		return fmt.Errorf("%w: withdrawn routes", ErrTruncated)
 	}
-	wd, err := parseNLRI(body[:wdLen], false)
+	wd, err := appendNLRIPrefixes(out.Withdrawn[:0], body[:wdLen], false)
 	if err != nil {
 		return fmt.Errorf("bgp: withdrawn routes: %w", err)
 	}
@@ -131,7 +148,7 @@ func ParseUpdate(b []byte, opt Options, out *Update) error {
 	if err := DecodeAttrs(body[:atLen], opt, &out.Attrs); err != nil {
 		return err
 	}
-	nlri, err := parseNLRI(body[atLen:], false)
+	nlri, err := appendNLRIPrefixes(out.NLRI[:0], body[atLen:], false)
 	if err != nil {
 		return fmt.Errorf("bgp: NLRI: %w", err)
 	}

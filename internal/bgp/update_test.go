@@ -1,0 +1,227 @@
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// wdUpdate builds a valid withdrawal-only UPDATE and returns its wire
+// bytes plus the offsets of the two section length fields.
+func wdUpdate(t *testing.T, prefixes ...string) (wire []byte, wdLenOff, atLenOff int) {
+	t.Helper()
+	u := &Update{}
+	for _, p := range prefixes {
+		u.Withdrawn = append(u.Withdrawn, mustPrefix(t, p))
+	}
+	wire, err := u.Marshal(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdLenOff = headerLen
+	wdLen := int(binary.BigEndian.Uint16(wire[wdLenOff:]))
+	atLenOff = headerLen + 2 + wdLen
+	return wire, wdLenOff, atLenOff
+}
+
+// patchLen rewrites a 16-bit length field in place on a copy, fixing
+// the header length so only the section length lies.
+func patchLen(wire []byte, off, v int) []byte {
+	b := append([]byte(nil), wire...)
+	binary.BigEndian.PutUint16(b[off:], uint16(v))
+	return b
+}
+
+func TestWithdrawnDeclaredPastBody(t *testing.T) {
+	wire, wdOff, _ := wdUpdate(t, "203.0.113.0/24", "198.51.100.0/25")
+	// Declare one byte more withdrawn data than the message holds.
+	for _, lie := range []int{10, 100, 0xFFFF} {
+		var out Update
+		err := ParseUpdate(patchLen(wire, wdOff, lie), Options{}, &out)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("wdLen=%d: want ErrTruncated, got %v", lie, err)
+		}
+	}
+}
+
+func TestAttrLenDeclaredPastBody(t *testing.T) {
+	wire, _, atOff := wdUpdate(t, "203.0.113.0/24")
+	for _, lie := range []int{1, 50, 0xFFFF} {
+		var out Update
+		err := ParseUpdate(patchLen(wire, atOff, lie), Options{}, &out)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("atLen=%d: want ErrTruncated, got %v", lie, err)
+		}
+	}
+}
+
+func TestWithdrawnLengthCutInsidePrefix(t *testing.T) {
+	// Under-declared withdrawn length that cuts inside a prefix's
+	// address bytes: the leftover withdrawn bytes land in the
+	// attribute section and must fail decoding there, never desync
+	// silently into accepted attributes.
+	wire, wdOff, _ := wdUpdate(t, "203.0.113.0/24", "198.51.100.0/25")
+	wdLen := int(binary.BigEndian.Uint16(wire[wdOff:]))
+	for lie := 1; lie < wdLen; lie++ {
+		var out Update
+		if err := ParseUpdate(patchLen(wire, wdOff, lie), Options{}, &out); err == nil {
+			// A cut exactly at the first prefix boundary (4 bytes:
+			// len byte + 3 address bytes for /24) is undetectable by
+			// the wire format only if the displaced bytes also parse
+			// as attributes + NLRI; with real prefix bytes they must
+			// not here.
+			t.Errorf("wdLen=%d (true %d): lying length accepted", lie, wdLen)
+		}
+	}
+}
+
+func TestWithdrawnPrefixOverLongBits(t *testing.T) {
+	// A withdrawn prefix declaring >32 bits must be rejected, not
+	// read past the section.
+	body := []byte{0, 2, 33, 0xC0} // wdLen=2, prefix 33 bits
+	body = append(body, 0, 0)      // atLen=0
+	total := headerLen + len(body)
+	wire := append(append([]byte{}, marker[:]...), byte(total>>8), byte(total), MsgUpdate)
+	wire = append(wire, body...)
+	var out Update
+	if err := ParseUpdate(wire, Options{}, &out); err == nil {
+		t.Error("33-bit withdrawn prefix accepted")
+	}
+}
+
+func TestParseUpdateScratchReuse(t *testing.T) {
+	// Decoding into the same Update must reuse Withdrawn/NLRI
+	// capacity and fully overwrite the previous message's prefixes.
+	opt := Options{ASN4: true}
+	u1 := &Update{Withdrawn: []netip.Prefix{mustPrefix(t, "203.0.113.0/24"), mustPrefix(t, "192.0.2.0/24")}}
+	w1, err := u1.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := &Update{Withdrawn: []netip.Prefix{mustPrefix(t, "198.51.100.0/25")}}
+	w2, err := u2.Marshal(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Update
+	if err := ParseUpdate(w1, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	cap1 := cap(out.Withdrawn)
+	if err := ParseUpdate(w2, opt, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Withdrawn, u2.Withdrawn) {
+		t.Errorf("withdrawn after reuse: %v", out.Withdrawn)
+	}
+	if cap(out.Withdrawn) != cap1 {
+		t.Errorf("withdrawn scratch not reused: cap %d -> %d", cap1, cap(out.Withdrawn))
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		var u Update
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ParseUpdate(w1, opt, &u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if avg := res.AllocsPerOp(); avg > 0 {
+		t.Errorf("ParseUpdate allocates %d allocs/op on a steady stream; want 0", avg)
+	}
+}
+
+func TestParseUpdateTrailingBytesIgnored(t *testing.T) {
+	// Bytes past the declared header length belong to the next
+	// message in the stream and must not disturb decoding.
+	wire, _, _ := wdUpdate(t, "203.0.113.0/24")
+	padded := append(append([]byte(nil), wire...), 0xDE, 0xAD, 0xBE, 0xEF)
+	var out Update
+	if err := ParseUpdate(padded, Options{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Withdrawn) != 1 || out.Withdrawn[0] != mustPrefix(t, "203.0.113.0/24") {
+		t.Errorf("withdrawn with trailing garbage: %v", out.Withdrawn)
+	}
+}
+
+// FuzzParseUpdate feeds arbitrary bytes through the streaming UPDATE
+// parser. The corpus seeds cover the withdrawn-routes lying-length
+// modes: declared-past-body, under-declared cut inside a prefix, and
+// over-long prefix bits.
+func FuzzParseUpdate(f *testing.F) {
+	mk := func(prefixes ...netip.Prefix) []byte {
+		u := &Update{Withdrawn: prefixes}
+		w, err := u.Marshal(Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return w
+	}
+	p1 := netip.MustParsePrefix("203.0.113.0/24")
+	p2 := netip.MustParsePrefix("198.51.100.0/25")
+	good := mk(p1, p2)
+	f.Add(good)
+	// Declared-past-body withdrawn length.
+	lying := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(lying[headerLen:], 0xFFFF)
+	f.Add(lying)
+	// Under-declared length cutting inside the first prefix.
+	cut := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(cut[headerLen:], 2)
+	f.Add(cut)
+	// Over-long prefix bits in the withdrawn section.
+	overbits := []byte{0, 2, 45, 0xC0, 0, 0}
+	total := headerLen + len(overbits)
+	seed := append(append([]byte{}, marker[:]...), byte(total>>8), byte(total), MsgUpdate)
+	f.Add(append(seed, overbits...))
+	// A full announcement with attributes for attr-path coverage.
+	ann := &Update{NLRI: []netip.Prefix{p1}}
+	ann.Attrs.HasOrigin = true
+	ann.Attrs.ASPath = Sequence(64500, 64501)
+	ann.Attrs.NextHop = netip.MustParseAddr("192.0.2.1")
+	annW, err := ann.Marshal(Options{ASN4: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(annW)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Update
+		for _, opt := range []Options{{}, {ASN4: true}} {
+			if err := ParseUpdate(data, opt, &out); err != nil {
+				continue
+			}
+			// Anything accepted must re-marshal; prefixes must be
+			// valid and canonical (masked host bits).
+			for _, p := range append(out.Withdrawn, out.NLRI...) {
+				if !p.IsValid() || p != p.Masked() {
+					t.Fatalf("accepted non-canonical prefix %v", p)
+				}
+			}
+		}
+		// Decoding twice into the same scratch must be stable.
+		var again Update
+		err1 := ParseUpdate(data, Options{ASN4: true}, &again)
+		err2 := ParseUpdate(data, Options{ASN4: true}, &again)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("reuse changed verdict: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !bytes.Equal(fmtPrefixes(out.Withdrawn), fmtPrefixes(again.Withdrawn)) {
+			t.Fatal("reuse changed withdrawn routes")
+		}
+	})
+}
+
+func fmtPrefixes(ps []netip.Prefix) []byte {
+	var b bytes.Buffer
+	for _, p := range ps {
+		b.WriteString(p.String())
+		b.WriteByte(' ')
+	}
+	return b.Bytes()
+}

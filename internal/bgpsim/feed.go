@@ -1,0 +1,310 @@
+// Feed generation: turns a simulated Internet into a seeded, replayable
+// stream of BGP UPDATE messages — the RIS-Live-style input of the live
+// ingest subsystem. The feed is built from the same propagation and
+// attribute model the MRT collectors serialize, so a feed that
+// converges (every route re-announced) is observation-for-observation
+// identical to the batch archives, and live-vs-batch snapshot
+// equivalence can be asserted byte-for-byte.
+package bgpsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/gen"
+)
+
+// FeedConfig shapes the replayable update stream.
+type FeedConfig struct {
+	// Seed drives the event schedule (announce order, churn picks,
+	// re-announce gaps). The same seed over the same Internet yields
+	// the same byte stream.
+	Seed int64
+	// ChurnEvents is the number of withdraw→re-announce flaps emitted
+	// after the initial announcement phase.
+	ChurnEvents int
+	// ChurnGapMax bounds how many events a withdrawn route stays down
+	// before its re-announcement (default 8). Small gaps keep the
+	// number of concurrently-withdrawn routes low.
+	ChurnGapMax int
+	// Residual routes are withdrawn at the very end and never
+	// re-announced, leaving the feed converged onto a partial table.
+	Residual int
+	// Bias lists links whose crossing routes are preferred (with
+	// probability ½ per pick) as churn victims — e.g. planted hybrid
+	// links, so transition-tech flaps concentrate where the paper's
+	// signal lives.
+	Bias []asrel.LinkKey
+}
+
+// FeedEvent is one BGP UPDATE as seen by a vantage point.
+type FeedEvent struct {
+	AF       asrel.AF
+	Vantage  asrel.ASN
+	Origin   asrel.ASN
+	Withdraw bool
+	// Data is the complete wire message (header included), decodable
+	// with bgp.ParseUpdate under Options{ASN4: true}.
+	Data []byte
+}
+
+// feedRoute is one (plane, vantage, origin) route: the unit of
+// announcement and withdrawal. An UPDATE carries all of the origin's
+// prefixes for that plane at once.
+type feedRoute struct {
+	af       asrel.AF
+	vantage  asrel.ASN
+	origin   asrel.ASN
+	announce []byte
+	withdraw []byte
+	active   bool
+	biased   bool
+}
+
+// Feed is a fully-materialized update stream.
+type Feed struct {
+	Events []FeedEvent
+	routes []feedRoute
+}
+
+// GenerateFeed propagates both planes of the Internet and builds the
+// seeded event stream: an announcement phase covering every route in
+// shuffled order, a churn phase of withdraw→re-announce flaps, and an
+// optional residual phase of final withdrawals.
+func GenerateFeed(in *gen.Internet, cfg FeedConfig) (*Feed, error) {
+	if cfg.ChurnGapMax < 1 {
+		cfg.ChurnGapMax = 8
+	}
+	bias := make(map[asrel.LinkKey]struct{}, len(cfg.Bias))
+	for _, k := range cfg.Bias {
+		bias[k] = struct{}{}
+	}
+	f := &Feed{}
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		sim := New(in, af)
+		for _, origin := range in.Order {
+			prefixes := in.ASes[origin].PrefixesFor(af)
+			if len(prefixes) == 0 {
+				continue
+			}
+			res, err := sim.Propagate(origin)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range sim.Views(res) {
+				rt, err := buildRoute(af, origin, prefixes, v, bias)
+				if err != nil {
+					return nil, err
+				}
+				f.routes = append(f.routes, rt)
+			}
+		}
+	}
+	f.schedule(cfg)
+	return f, nil
+}
+
+// buildRoute marshals the announce and withdraw UPDATEs for one view.
+func buildRoute(af asrel.AF, origin asrel.ASN, prefixes []netip.Prefix, v VantageView, bias map[asrel.LinkKey]struct{}) (feedRoute, error) {
+	opt := bgp.Options{ASN4: true}
+	ann := &bgp.Update{}
+	ann.Attrs.HasOrigin = true
+	ann.Attrs.Origin = bgp.OriginIGP
+	ann.Attrs.ASPath = bgp.Sequence(v.Path...)
+	if len(v.Communities) > 0 {
+		ann.Attrs.Communities = v.Communities
+	}
+	if v.HasLocPrf {
+		ann.Attrs.HasLocalPref = true
+		ann.Attrs.LocalPref = v.LocPrf
+	}
+	wd := &bgp.Update{}
+	if af == asrel.IPv6 {
+		ann.Attrs.MPReach = &bgp.MPReach{
+			AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast,
+			NextHop: []netip.Addr{vantageAddr6(v.Vantage)},
+			NLRI:    prefixes,
+		}
+		wd.Attrs.MPUnreach = &bgp.MPUnreach{
+			AFI: bgp.AFIIPv6, SAFI: bgp.SAFIUnicast, Withdrawn: prefixes,
+		}
+	} else {
+		ann.Attrs.NextHop = vantageAddr4(v.Vantage)
+		ann.NLRI = prefixes
+		wd.Withdrawn = prefixes
+	}
+	annB, err := ann.Marshal(opt)
+	if err != nil {
+		return feedRoute{}, fmt.Errorf("bgpsim: feed announce %s %d→%d: %w", af, v.Vantage, origin, err)
+	}
+	wdB, err := wd.Marshal(opt)
+	if err != nil {
+		return feedRoute{}, fmt.Errorf("bgpsim: feed withdraw %s %d→%d: %w", af, v.Vantage, origin, err)
+	}
+	biased := false
+	for i := 0; i+1 < len(v.Path); i++ {
+		if _, ok := bias[asrel.Key(v.Path[i], v.Path[i+1])]; ok {
+			biased = true
+			break
+		}
+	}
+	return feedRoute{
+		af: af, vantage: v.Vantage, origin: origin,
+		announce: annB, withdraw: wdB, biased: biased,
+	}, nil
+}
+
+// vantageAddr4 / vantageAddr6 synthesize session next-hop addresses.
+// The applier discards next hops, so only well-formedness matters.
+func vantageAddr4(v asrel.ASN) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 200, byte(v >> 8), byte(v)})
+}
+
+func vantageAddr6(v asrel.ASN) netip.Addr {
+	var raw [16]byte
+	raw[0] = 0xfd
+	raw[1] = 0x01
+	raw[14], raw[15] = byte(v>>8), byte(v)
+	return netip.AddrFrom16(raw)
+}
+
+// schedule lays out the event stream from the route table.
+func (f *Feed) schedule(cfg FeedConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Announcement phase: every route once, in shuffled order.
+	order := rng.Perm(len(f.routes))
+	for _, ri := range order {
+		f.emit(ri, false)
+	}
+
+	var biased []int
+	for ri := range f.routes {
+		if f.routes[ri].biased {
+			biased = append(biased, ri)
+		}
+	}
+
+	// Churn phase: withdraw an active route, re-announce it within
+	// ChurnGapMax subsequent steps. pending holds routes that are
+	// down, keyed by the step at which they come back.
+	type flap struct{ due, route int }
+	var pending []flap
+	step := 0
+	flush := func(now int) {
+		kept := pending[:0]
+		for _, p := range pending {
+			if p.due <= now {
+				f.emit(p.route, false)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		pending = kept
+	}
+	for n := 0; n < cfg.ChurnEvents; n++ {
+		flush(step)
+		ri := f.pickActive(rng, biased)
+		if ri < 0 {
+			break
+		}
+		f.emit(ri, true)
+		pending = append(pending, flap{due: step + 1 + rng.Intn(cfg.ChurnGapMax), route: ri})
+		step++
+	}
+	flush(step + cfg.ChurnGapMax) // everything comes back
+
+	// Residual phase: final withdrawals with no re-announcement.
+	for n := 0; n < cfg.Residual; n++ {
+		ri := f.pickActive(rng, biased)
+		if ri < 0 {
+			break
+		}
+		f.emit(ri, true)
+	}
+}
+
+// pickActive returns a random active route index, preferring biased
+// routes half the time when any are active; -1 when none are active.
+func (f *Feed) pickActive(rng *rand.Rand, biased []int) int {
+	if len(f.routes) == 0 {
+		return -1
+	}
+	for attempt := 0; attempt < 4*len(f.routes); attempt++ {
+		var ri int
+		if len(biased) > 0 && rng.Intn(2) == 0 {
+			ri = biased[rng.Intn(len(biased))]
+		} else {
+			ri = rng.Intn(len(f.routes))
+		}
+		if f.routes[ri].active {
+			return ri
+		}
+	}
+	// Degenerate config (almost everything withdrawn): linear scan.
+	for ri := range f.routes {
+		if f.routes[ri].active {
+			return ri
+		}
+	}
+	return -1
+}
+
+func (f *Feed) emit(ri int, withdraw bool) {
+	rt := &f.routes[ri]
+	data := rt.announce
+	if withdraw {
+		data = rt.withdraw
+	}
+	rt.active = !withdraw
+	f.Events = append(f.Events, FeedEvent{
+		AF: rt.af, Vantage: rt.vantage, Origin: rt.origin,
+		Withdraw: withdraw, Data: data,
+	})
+}
+
+// NumRoutes returns the number of distinct (plane, vantage, origin)
+// routes in the feed.
+func (f *Feed) NumRoutes() int { return len(f.routes) }
+
+// Announce / Withdraw return synthetic events for route i, for callers
+// (benchmarks, tests) that drive their own schedules on top of the
+// feed's route table.
+func (f *Feed) Announce(i int) FeedEvent {
+	rt := &f.routes[i]
+	return FeedEvent{AF: rt.af, Vantage: rt.vantage, Origin: rt.origin, Data: rt.announce}
+}
+
+func (f *Feed) Withdraw(i int) FeedEvent {
+	rt := &f.routes[i]
+	return FeedEvent{AF: rt.af, Vantage: rt.vantage, Origin: rt.origin, Withdraw: true, Data: rt.withdraw}
+}
+
+// Keep returns a DumpFiltered-compatible filter matching the feed's
+// final active state for one plane: the batch archives it selects
+// describe exactly the routes a live consumer of this feed holds after
+// the last event.
+func (f *Feed) Keep(af asrel.AF) func(origin, vantage asrel.ASN) bool {
+	type rk struct{ v, o asrel.ASN }
+	act := make(map[rk]bool)
+	for _, rt := range f.routes {
+		if rt.af == af && rt.active {
+			act[rk{rt.vantage, rt.origin}] = true
+		}
+	}
+	return func(origin, vantage asrel.ASN) bool { return act[rk{vantage, origin}] }
+}
+
+// Converged reports whether every route is active (no residual
+// withdrawals), i.e. the live end state equals the full batch archives.
+func (f *Feed) Converged() bool {
+	for _, rt := range f.routes {
+		if !rt.active {
+			return false
+		}
+	}
+	return true
+}

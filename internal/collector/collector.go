@@ -65,6 +65,18 @@ func peerAddr(af asrel.AF, i int) netip.Addr {
 // Propagation results are shared across collectors, so the whole plane
 // costs one simulation pass.
 func DumpAll(in *gen.Internet, af asrel.AF, cols []Collector, ws []io.Writer, ts time.Time) error {
+	return DumpFiltered(in, af, cols, ws, ts, nil)
+}
+
+// DumpFiltered is DumpAll with a route filter: a RIB entry for
+// (origin, vantage) is written only when keep(origin, vantage) is true
+// (nil keeps everything). It serializes the exact residual state a live
+// feed converges to when some routes stay withdrawn, so live-vs-batch
+// equivalence can be checked on partial tables, not just full ones.
+// Records whose entries are all filtered are skipped without consuming
+// a sequence number, matching what a collector that never heard the
+// route would have written.
+func DumpFiltered(in *gen.Internet, af asrel.AF, cols []Collector, ws []io.Writer, ts time.Time, keep func(origin, vantage asrel.ASN) bool) error {
 	if len(cols) != len(ws) {
 		return fmt.Errorf("collector: %d collectors but %d writers", len(cols), len(ws))
 	}
@@ -100,6 +112,15 @@ func DumpAll(in *gen.Internet, af asrel.AF, cols []Collector, ws []io.Writer, ts
 			return err
 		}
 		views := sim.Views(res)
+		if keep != nil {
+			kept := views[:0]
+			for _, v := range views {
+				if keep(origin, v.Vantage) {
+					kept = append(kept, v)
+				}
+			}
+			views = kept
+		}
 		if len(views) == 0 {
 			continue
 		}

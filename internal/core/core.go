@@ -168,6 +168,26 @@ func FromResult(res *pipeline.Result) *Analysis {
 	return a
 }
 
+// Assemble builds an Analysis from externally-computed inference
+// results — the constructor of the live incremental path, which
+// maintains the four per-plane tables itself and snapshots them on a
+// cadence. The merge overlay and derived-product machinery are exactly
+// the ones Analyze and FromResult use, so a snapshot captured from an
+// assembled Analysis is byte-identical to the batch one whenever the
+// tables and datasets agree.
+func Assemble(d4, d6 *dataset.Dataset, dict *community.Dictionary,
+	comm4, comm6 *communityinfer.Result, loc4, loc6 *locpref.Result) *Analysis {
+	a := &Analysis{
+		D4: d4, D6: d6, Dict: dict,
+		Comm4: comm4, Comm6: comm6,
+		Loc4: loc4, Loc6: loc6,
+	}
+	a.Rel4 = merge(comm4.Table, loc4.Table)
+	a.Rel6 = merge(comm6.Table, loc6.Table)
+	a.graph6 = d6.Graph()
+	return a
+}
+
 // Analyze runs the inference stack over already-ingested datasets.
 func Analyze(d4, d6 *dataset.Dataset, dict *community.Dictionary, opt Options) *Analysis {
 	a := &Analysis{D4: d4, D6: d6, Dict: dict}

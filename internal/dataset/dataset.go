@@ -212,6 +212,10 @@ type Dataset struct {
 	droppedSets  int
 	droppedLoops int
 	skippedAF    int
+
+	// live is the delta layer of a streaming dataset (NewLive); nil
+	// for batch datasets, whose behavior is unchanged.
+	live *liveState
 }
 
 // New returns an empty dataset for one plane.
@@ -421,30 +425,8 @@ func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Comm
 		d.droppedLoops++
 		return err
 	}
-	if d.tab == nil || (len(d.recs)+1)*4 > len(d.tab)*3 {
-		d.rehash()
-	}
-	h := hashASNs(p)
-	idx := d.find(h, p)
-	if idx < 0 {
-		idx = int32(len(d.recs))
-		off := uint32(len(d.arena))
-		for _, a := range p {
-			d.arena = append(d.arena, d.in.Intern(a))
-		}
-		commOff := uint32(len(d.commArena))
-		d.commArena = append(d.commArena, comms...)
-		d.recs = append(d.recs, pathRec{
-			off: off, end: uint32(len(d.arena)),
-			commOff: commOff, commEnd: uint32(len(d.commArena)),
-			hash:   h,
-			locPrf: locPrf, hasLocPrf: hasLocPrf,
-			moreIdx: -1,
-		})
-		d.tabInsert(h, idx)
-		if d.sorted && idx > 0 && d.comparePathAt(idx, idx-1) < 0 {
-			d.sorted = false
-		}
+	idx, created := d.addRec(p, comms, locPrf, hasLocPrf)
+	if created {
 		for i := 1; i < len(p); i++ {
 			d.accum.Add(asrel.Key(p[i-1], p[i]), 1)
 		}
@@ -457,6 +439,40 @@ func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Comm
 		}
 	}
 	return nil
+}
+
+// addRec dedups the cleaned path p, inserting a new record with the
+// given first-seen attributes when absent. Link accounting is the
+// caller's: AddPath counts links at record creation, the live layer at
+// refcount activation.
+func (d *Dataset) addRec(p []asrel.ASN, comms []bgp.Community, locPrf uint32, hasLocPrf bool) (idx int32, created bool) {
+	if d.tab == nil || (len(d.recs)+1)*4 > len(d.tab)*3 {
+		d.rehash()
+	}
+	h := hashASNs(p)
+	idx = d.find(h, p)
+	if idx >= 0 {
+		return idx, false
+	}
+	idx = int32(len(d.recs))
+	off := uint32(len(d.arena))
+	for _, a := range p {
+		d.arena = append(d.arena, d.in.Intern(a))
+	}
+	commOff := uint32(len(d.commArena))
+	d.commArena = append(d.commArena, comms...)
+	d.recs = append(d.recs, pathRec{
+		off: off, end: uint32(len(d.arena)),
+		commOff: commOff, commEnd: uint32(len(d.commArena)),
+		hash:   h,
+		locPrf: locPrf, hasLocPrf: hasLocPrf,
+		moreIdx: -1,
+	})
+	d.tabInsert(h, idx)
+	if d.sorted && idx > 0 && d.comparePathAt(idx, idx-1) < 0 {
+		d.sorted = false
+	}
+	return idx, true
 }
 
 // AddMRT ingests a TABLE_DUMP_V2 archive, keeping only RIB records of
@@ -553,14 +569,24 @@ func (d *Dataset) ensureSorted() {
 	idx := d.sortedIndex()
 	arena := make([]uint32, 0, len(d.arena))
 	recs := make([]pathRec, 0, len(d.recs))
+	var refs []int32
+	if d.live != nil {
+		refs = make([]int32, 0, len(d.live.refs))
+	}
 	for _, ri := range idx {
 		r := d.recs[ri]
 		off := uint32(len(arena))
 		arena = append(arena, d.arena[r.off:r.end]...)
 		r.off, r.end = off, uint32(len(arena))
 		recs = append(recs, r)
+		if d.live != nil {
+			refs = append(refs, d.live.refs[ri])
+		}
 	}
 	d.arena, d.recs = arena, recs
+	if d.live != nil {
+		d.live.refs = refs
+	}
 	d.sorted = true
 	d.tab = nil // record indexes moved; rebuilt on the next AddPath
 	d.mutations++
@@ -693,14 +719,22 @@ func (d *Dataset) Merge(other *Dataset) error {
 // flatLocked folds any pending occurrences into the frozen index.
 // Callers hold flatMu.
 func (d *Dataset) flatLocked() *intern.Counts {
-	if d.flat == nil || d.accum.Len() > 0 {
+	if d.flat == nil || d.accum.Len() > 0 || (d.live != nil && d.live.neg.Len() > 0) {
 		batch := d.accum.Freeze()
 		if d.flat == nil {
 			d.flat = batch
 		} else {
 			d.flat = intern.MergeCounts(d.flat, batch)
 		}
-		d.accum = intern.CountsAccum{}
+		d.accum.Reset()
+		if d.live != nil && d.live.neg.Len() > 0 {
+			// Withdrawal deltas: links whose last active path went
+			// away since the previous fold. Subtraction drops counts
+			// that reach zero, so the flat index always reflects the
+			// currently-active paths only.
+			d.flat = intern.SubCounts(d.flat, d.live.neg.Freeze())
+			d.live.neg.Reset()
+		}
 	}
 	return d.flat
 }
@@ -714,8 +748,14 @@ func (d *Dataset) Flat() *intern.Counts {
 	return d.flatLocked()
 }
 
-// NumUniquePaths returns the number of distinct cleaned AS paths.
-func (d *Dataset) NumUniquePaths() int { return len(d.recs) }
+// NumUniquePaths returns the number of distinct cleaned AS paths; for
+// a live dataset, the number of currently-active ones.
+func (d *Dataset) NumUniquePaths() int {
+	if d.live != nil {
+		return d.live.active
+	}
+	return len(d.recs)
+}
 
 // NumObservations returns the number of raw path observations ingested,
 // including dropped ones.
@@ -734,34 +774,10 @@ func (d *Dataset) Paths() []*PathObs {
 	if d.pathsMemo == nil || d.memoAt != d.mutations {
 		memo := make([]*PathObs, 0, len(d.recs))
 		for _, ri := range d.sortedIndex() {
-			r := &d.recs[ri]
-			path := make([]asrel.ASN, r.end-r.off)
-			for i, id := range d.arena[r.off:r.end] {
-				path[i] = d.in.ASN(id)
+			if d.live != nil && d.live.refs[ri] == 0 {
+				continue // withdrawn path; invisible until re-announced
 			}
-			var prefixes []netip.Prefix
-			if n := d.numPrefixes(r); n > 0 {
-				prefixes = make([]netip.Prefix, 0, n)
-				prefixes = append(prefixes, r.prefix0.unpack())
-				if r.moreIdx >= 0 {
-					for _, q := range d.morePrefixes[r.moreIdx] {
-						prefixes = append(prefixes, q.unpack())
-					}
-				}
-			}
-			var comms []bgp.Community
-			if r.commEnd > r.commOff {
-				comms = d.commArena[r.commOff:r.commEnd:r.commEnd]
-			}
-			memo = append(memo, &PathObs{
-				Vantage:     path[0],
-				Path:        path,
-				Prefixes:    prefixes,
-				Communities: comms,
-				LocPrf:      r.locPrf,
-				HasLocPrf:   r.hasLocPrf,
-				Obs:         int(r.obs),
-			})
+			memo = append(memo, d.materialize(ri))
 		}
 		d.pathsMemo = memo
 		d.memoAt = d.mutations
@@ -769,6 +785,39 @@ func (d *Dataset) Paths() []*PathObs {
 	out := make([]*PathObs, len(d.pathsMemo))
 	copy(out, d.pathsMemo)
 	return out
+}
+
+// materialize builds the PathObs view of one record. The path slice is
+// fresh; communities alias the arena.
+func (d *Dataset) materialize(ri int32) *PathObs {
+	r := &d.recs[ri]
+	path := make([]asrel.ASN, r.end-r.off)
+	for i, id := range d.arena[r.off:r.end] {
+		path[i] = d.in.ASN(id)
+	}
+	var prefixes []netip.Prefix
+	if n := d.numPrefixes(r); n > 0 {
+		prefixes = make([]netip.Prefix, 0, n)
+		prefixes = append(prefixes, r.prefix0.unpack())
+		if r.moreIdx >= 0 {
+			for _, q := range d.morePrefixes[r.moreIdx] {
+				prefixes = append(prefixes, q.unpack())
+			}
+		}
+	}
+	var comms []bgp.Community
+	if r.commEnd > r.commOff {
+		comms = d.commArena[r.commOff:r.commEnd:r.commEnd]
+	}
+	return &PathObs{
+		Vantage:     path[0],
+		Path:        path,
+		Prefixes:    prefixes,
+		Communities: comms,
+		LocPrf:      r.locPrf,
+		HasLocPrf:   r.hasLocPrf,
+		Obs:         int(r.obs),
+	}
 }
 
 // Links returns the observed link keys in canonical order.
@@ -812,6 +861,9 @@ func (d *Dataset) Graph() *topology.Graph {
 func (d *Dataset) Vantages() []asrel.ASN {
 	out := make([]asrel.ASN, 0, len(d.recs))
 	for i := range d.recs {
+		if d.live != nil && d.live.refs[i] == 0 {
+			continue
+		}
 		out = append(out, d.in.ASN(d.arena[d.recs[i].off]))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

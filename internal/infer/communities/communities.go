@@ -32,44 +32,8 @@ type Result struct {
 func Infer(paths []*dataset.PathObs, dict *community.Dictionary) *Result {
 	res := &Result{Votes: infer.NewVoteTable()}
 	for _, p := range paths {
-		if len(p.Communities) == 0 || len(p.Path) < 2 {
-			continue
-		}
-		// Index the path for tagger attribution.
-		pos := make(map[asrel.ASN]int, len(p.Path))
-		for i, a := range p.Path {
-			pos[a] = i
-		}
-		contributed := false
-		hasTE := false
-		for _, c := range p.Communities {
-			meaning, ok := dict.Lookup(c)
-			if !ok {
-				continue
-			}
-			if meaning == community.MeaningTE {
-				hasTE = true
-				continue
-			}
-			tagger := asrel.ASN(c.ASN())
-			i, onPath := pos[tagger]
-			if !onPath {
-				res.OffPathTags++
-				continue
-			}
-			if i == len(p.Path)-1 {
-				// The origin imports nothing on this path; a
-				// relationship tag from it is unattributable.
-				res.OffPathTags++
-				continue
-			}
-			rel, ok := meaning.Rel()
-			if !ok {
-				continue
-			}
-			res.Votes.Add(tagger, p.Path[i+1], rel)
-			contributed = true
-		}
+		contributed, offPath, hasTE := PathVotes(p, dict, res.Votes.Add)
+		res.OffPathTags += offPath
 		if contributed {
 			res.TaggedPaths++
 		}
@@ -79,4 +43,51 @@ func Infer(paths []*dataset.PathObs, dict *community.Dictionary) *Result {
 	}
 	res.Table = res.Votes.Resolve()
 	return res
+}
+
+// PathVotes mines one path's communities, emitting one directed vote
+// per usable tag: emit(tagger, neighbor, rel) asserts tagger's
+// relationship toward the next AS on the path. It is the single
+// deterministic source of per-path community evidence — batch Infer
+// aggregates its emissions over all paths, and the live incremental
+// engine replays them with opposite sign when a path is withdrawn, so
+// the two cannot drift apart.
+func PathVotes(p *dataset.PathObs, dict *community.Dictionary, emit func(tagger, neighbor asrel.ASN, rel asrel.Rel)) (contributed bool, offPath int, hasTE bool) {
+	if len(p.Communities) == 0 || len(p.Path) < 2 {
+		return false, 0, false
+	}
+	// Index the path for tagger attribution.
+	pos := make(map[asrel.ASN]int, len(p.Path))
+	for i, a := range p.Path {
+		pos[a] = i
+	}
+	for _, c := range p.Communities {
+		meaning, ok := dict.Lookup(c)
+		if !ok {
+			continue
+		}
+		if meaning == community.MeaningTE {
+			hasTE = true
+			continue
+		}
+		tagger := asrel.ASN(c.ASN())
+		i, onPath := pos[tagger]
+		if !onPath {
+			offPath++
+			continue
+		}
+		if i == len(p.Path)-1 {
+			// The origin imports nothing on this path; a
+			// relationship tag from it is unattributable.
+			offPath++
+			continue
+		}
+		rel, ok := meaning.Rel()
+		if !ok {
+			continue
+		}
+		emit(tagger, p.Path[i+1], rel)
+		contributed = true
+	}
+	return contributed, offPath, hasTE
 }

@@ -43,6 +43,25 @@ func (v *Votes) Add(k asrel.LinkKey, a asrel.ASN, r asrel.Rel) {
 	}
 }
 
+// Sub retracts one previously-registered vote for the directed pair
+// (a, b) having relationship r — the inverse of Add, used by the live
+// incremental engine when a path's evidence is withdrawn.
+func (v *Votes) Sub(k asrel.LinkKey, a asrel.ASN, r asrel.Rel) {
+	if a != k.Lo {
+		r = r.Invert()
+	}
+	switch r {
+	case asrel.P2C:
+		v.P2C--
+	case asrel.C2P:
+		v.C2P--
+	case asrel.P2P:
+		v.P2P--
+	case asrel.S2S:
+		v.S2S--
+	}
+}
+
 // Resolve collapses the votes into one relationship (Lo→Hi oriented)
 // using the repository-wide rule: majority wins; a transit-vs-peer tie
 // breaks toward transit (providers tag customer routes far more reliably
@@ -89,6 +108,22 @@ func (t *VoteTable) Add(a, b asrel.ASN, r asrel.Rel) {
 		t.votes[k] = v
 	}
 	v.Add(k, a, r)
+}
+
+// Sub retracts a vote previously registered with Add, dropping the
+// link's record when its last vote goes. Retracting more votes than
+// were added is a caller bug; the counts would go negative and
+// Resolve's majorities would be meaningless.
+func (t *VoteTable) Sub(a, b asrel.ASN, r asrel.Rel) {
+	k := asrel.Key(a, b)
+	v := t.votes[k]
+	if v == nil {
+		return
+	}
+	v.Sub(k, a, r)
+	if v.Total() == 0 {
+		delete(t.votes, k)
+	}
 }
 
 // Get returns the vote record for a link, or nil.

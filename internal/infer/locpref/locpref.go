@@ -64,7 +64,7 @@ func Infer(paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Tab
 	byVantage := make(map[asrel.ASN][]*dataset.PathObs)
 	var vantages []asrel.ASN
 	for _, p := range paths {
-		if !p.HasLocPrf || len(p.Path) < 2 {
+		if !Eligible(p) {
 			continue
 		}
 		if _, ok := byVantage[p.Vantage]; !ok {
@@ -75,13 +75,50 @@ func Infer(paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Tab
 
 	votes := infer.NewVoteTable()
 	for _, v := range vantages {
-		res.inferVantage(v, byVantage[v], dict, base, votes)
+		st := InferVantage(v, byVantage[v], dict, base, cfg, votes.Add)
+		res.accumulate(st)
 	}
 	res.Table = votes.Resolve()
 	return res
 }
 
-func (res *Result) inferVantage(v asrel.ASN, paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Table, votes *infer.VoteTable) {
+func (res *Result) accumulate(st VantageStats) {
+	if st.Calibrated {
+		res.CalibratedVantages++
+	}
+	res.FilteredTE += st.FilteredTE
+	res.Applied += st.Applied
+	res.Conflicts += st.Conflicts
+}
+
+// Eligible reports whether a path participates in LocPrf inference at
+// all — the filter both Infer's grouping pass and the live engine's
+// per-vantage bookkeeping apply.
+func Eligible(p *dataset.PathObs) bool {
+	return p.HasLocPrf && len(p.Path) >= 2
+}
+
+// VantageStats tallies one vantage's calibration-and-application pass.
+type VantageStats struct {
+	Calibrated bool
+	FilteredTE int
+	Applied    int
+	Conflicts  int
+}
+
+// InferVantage runs the calibration and application for one vantage
+// over its eligible paths, emitting one directed vote per applied
+// route: emit(v, neighbor, rel) asserts the vantage's relationship
+// toward its first hop. Path order within the vantage is irrelevant —
+// calibration counts and emitted vote multisets are order-independent
+// — which is what lets the live engine recompute a single vantage in
+// isolation and still match batch Infer exactly. base is read for
+// first-hop coverage only.
+func InferVantage(v asrel.ASN, paths []*dataset.PathObs, dict *community.Dictionary, base *asrel.Table, cfg Config, emit func(a, b asrel.ASN, rel asrel.Rel)) VantageStats {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 2
+	}
+	var st VantageStats
 	// Calibration: LocPrf value → relationship counts, from routes whose
 	// first-hop relationship the communities already established.
 	calib := make(map[uint32]map[asrel.Rel]int)
@@ -93,7 +130,7 @@ func (res *Result) inferVantage(v asrel.ASN, paths []*dataset.PathObs, dict *com
 
 	for _, p := range paths {
 		if hasTE(p.Communities, dict) {
-			res.FilteredTE++
+			st.FilteredTE++
 			continue
 		}
 		neighbor := p.Path[1]
@@ -114,27 +151,28 @@ func (res *Result) inferVantage(v asrel.ASN, paths []*dataset.PathObs, dict *com
 	bands := make(map[uint32]asrel.Rel, len(calib))
 	for val, m := range calib {
 		if len(m) != 1 {
-			res.Conflicts++
+			st.Conflicts++
 			continue
 		}
 		for rel, n := range m {
-			if n >= res.cfg.MinSupport {
+			if n >= cfg.MinSupport {
 				bands[val] = rel
 			}
 		}
 	}
 	if len(bands) == 0 {
-		return
+		return st
 	}
-	res.CalibratedVantages++
+	st.Calibrated = true
 	for _, a := range apply {
 		rel, ok := bands[a.locPrf]
 		if !ok {
 			continue
 		}
-		votes.Add(v, a.neighbor, rel)
-		res.Applied++
+		emit(v, a.neighbor, rel)
+		st.Applied++
 	}
+	return st
 }
 
 func hasTE(comms []bgp.Community, dict *community.Dictionary) bool {

@@ -61,6 +61,16 @@ func (c *CountsAccum) Add(k asrel.LinkKey, delta int32) {
 // Len returns the number of distinct links accumulated.
 func (c *CountsAccum) Len() int { return c.n }
 
+// Reset empties the accumulator while keeping its table capacity, so a
+// fold-accumulate cycle (the live ingest cadence) allocates only while
+// the distinct-link working set is still growing.
+func (c *CountsAccum) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.n = 0
+}
+
 // grow doubles the table (or seeds it) and reinserts every occupied slot.
 func (c *CountsAccum) grow() {
 	size := accumMinSize

@@ -1,0 +1,234 @@
+package live
+
+import (
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/community"
+	"hybridrel/internal/dataset"
+	"hybridrel/internal/infer"
+	communityinfer "hybridrel/internal/infer/communities"
+	"hybridrel/internal/infer/locpref"
+)
+
+// planeEngine maintains one plane's inference state incrementally.
+//
+// Communities: the aggregate vote table is the sum of per-path vote
+// emissions (communityinfer.PathVotes) over the active paths. A path
+// activation adds its emissions, a deactivation subtracts the very
+// same ones, and only the touched links are re-resolved — integer
+// vote counts are order-independent, so the aggregate always equals
+// what batch Infer would compute over the current active set.
+//
+// LocPrf: calibration is per vantage and reads the communities table
+// only on links incident to that vantage (the first hop of its own
+// paths). A vantage therefore needs recomputing exactly when (a) its
+// eligible active path set changed, or (b) the communities table
+// changed on a link it is an endpoint of. Recomputation subtracts the
+// vantage's previous vote contributions, reruns locpref.InferVantage,
+// and adds the new ones; the per-vantage pass is order-independent, so
+// the aggregate again matches batch Infer exactly.
+type planeEngine struct {
+	d    *dataset.Dataset
+	dict *community.Dictionary
+	cfg  locpref.Config
+
+	comm      *infer.VoteTable
+	commTable *asrel.Table
+
+	lp       *infer.VoteTable
+	lpTable  *asrel.Table
+	lpVotes  map[asrel.ASN][]lpVote          // last emitted votes per vantage
+	vantRecs map[asrel.ASN]map[int32]struct{} // eligible active records per vantage
+
+	dirtyComm map[asrel.LinkKey]struct{}
+	dirtyVant map[asrel.ASN]struct{}
+
+	// fullRecomputes / incrementalResolves count resolve() strategies
+	// taken, for observability and tests.
+	fullRecomputes      int
+	incrementalResolves int
+}
+
+type lpVote struct {
+	a, b asrel.ASN
+	rel  asrel.Rel
+}
+
+func newPlaneEngine(d *dataset.Dataset, dict *community.Dictionary, cfg locpref.Config) *planeEngine {
+	return &planeEngine{
+		d: d, dict: dict, cfg: cfg,
+		comm:      infer.NewVoteTable(),
+		commTable: asrel.NewTable(),
+		lp:        infer.NewVoteTable(),
+		lpTable:   asrel.NewTable(),
+		lpVotes:   make(map[asrel.ASN][]lpVote),
+		vantRecs:  make(map[asrel.ASN]map[int32]struct{}),
+		dirtyComm: make(map[asrel.LinkKey]struct{}),
+		dirtyVant: make(map[asrel.ASN]struct{}),
+	}
+}
+
+// activate folds a newly-active path's evidence in.
+func (e *planeEngine) activate(idx int32, p *dataset.PathObs) {
+	communityinfer.PathVotes(p, e.dict, func(a, b asrel.ASN, rel asrel.Rel) {
+		e.comm.Add(a, b, rel)
+		e.dirtyComm[asrel.Key(a, b)] = struct{}{}
+	})
+	if locpref.Eligible(p) {
+		set := e.vantRecs[p.Vantage]
+		if set == nil {
+			set = make(map[int32]struct{})
+			e.vantRecs[p.Vantage] = set
+		}
+		set[idx] = struct{}{}
+		e.dirtyVant[p.Vantage] = struct{}{}
+	}
+}
+
+// deactivate retracts a withdrawn path's evidence — the exact votes
+// activate added, replayed with opposite sign.
+func (e *planeEngine) deactivate(idx int32, p *dataset.PathObs) {
+	communityinfer.PathVotes(p, e.dict, func(a, b asrel.ASN, rel asrel.Rel) {
+		e.comm.Sub(a, b, rel)
+		e.dirtyComm[asrel.Key(a, b)] = struct{}{}
+	})
+	if locpref.Eligible(p) {
+		if set := e.vantRecs[p.Vantage]; set != nil {
+			delete(set, idx)
+			if len(set) == 0 {
+				delete(e.vantRecs, p.Vantage)
+			}
+		}
+		e.dirtyVant[p.Vantage] = struct{}{}
+	}
+}
+
+// dirty returns the resolve workload estimate: links with changed
+// community votes plus vantages needing a LocPrf recomputation.
+func (e *planeEngine) dirty() int { return len(e.dirtyComm) + len(e.dirtyVant) }
+
+// resolve brings the two relationship tables up to date with the
+// accumulated dirty set. When the dirty set exceeds threshold×links it
+// falls back to a full recompute — past that point rebuilding from the
+// active paths is cheaper than patching.
+func (e *planeEngine) resolve(threshold float64) {
+	if e.dirty() == 0 {
+		return
+	}
+	if limit := threshold * float64(e.d.NumLinks()); float64(e.dirty()) > limit {
+		e.recompute()
+		return
+	}
+	e.incrementalResolves++
+
+	// Communities first: LocPrf calibration reads the updated table.
+	for k := range e.dirtyComm {
+		now := asrel.Unknown
+		if v := e.comm.Get(k); v != nil {
+			now = v.Resolve()
+		}
+		if old := e.commTable.GetKey(k); now == old {
+			continue
+		}
+		if now.Known() {
+			e.commTable.SetKey(k, now)
+		} else {
+			e.commTable.Delete(k.Lo, k.Hi)
+		}
+		// A base change on this link can shift the calibration of a
+		// vantage sitting on either end.
+		e.touchVantage(k.Lo)
+		e.touchVantage(k.Hi)
+	}
+	clear(e.dirtyComm)
+
+	lpDirty := make(map[asrel.LinkKey]struct{})
+	for v := range e.dirtyVant {
+		for _, c := range e.lpVotes[v] {
+			e.lp.Sub(c.a, c.b, c.rel)
+			lpDirty[asrel.Key(c.a, c.b)] = struct{}{}
+		}
+		paths := make([]*dataset.PathObs, 0, len(e.vantRecs[v]))
+		for idx := range e.vantRecs[v] {
+			paths = append(paths, e.d.RecObs(idx))
+		}
+		var contrib []lpVote
+		locpref.InferVantage(v, paths, e.dict, e.commTable, e.cfg, func(a, b asrel.ASN, rel asrel.Rel) {
+			contrib = append(contrib, lpVote{a, b, rel})
+			e.lp.Add(a, b, rel)
+			lpDirty[asrel.Key(a, b)] = struct{}{}
+		})
+		if len(contrib) == 0 {
+			delete(e.lpVotes, v)
+		} else {
+			e.lpVotes[v] = contrib
+		}
+	}
+	clear(e.dirtyVant)
+
+	for k := range lpDirty {
+		now := asrel.Unknown
+		if v := e.lp.Get(k); v != nil {
+			now = v.Resolve()
+		}
+		if now.Known() {
+			e.lpTable.SetKey(k, now)
+		} else {
+			e.lpTable.Delete(k.Lo, k.Hi)
+		}
+	}
+}
+
+func (e *planeEngine) touchVantage(v asrel.ASN) {
+	if len(e.vantRecs[v]) > 0 || len(e.lpVotes[v]) > 0 {
+		e.dirtyVant[v] = struct{}{}
+	}
+}
+
+// recompute rebuilds the engine's vote state from the dataset's active
+// paths — structurally the same computation batch Infer runs, kept as
+// the seeding path and the past-threshold fallback.
+func (e *planeEngine) recompute() {
+	e.fullRecomputes++
+	e.comm = infer.NewVoteTable()
+	e.lp = infer.NewVoteTable()
+	clear(e.lpVotes)
+	clear(e.dirtyComm)
+	clear(e.dirtyVant)
+
+	paths := e.d.Paths()
+	for _, p := range paths {
+		communityinfer.PathVotes(p, e.dict, e.comm.Add)
+	}
+	e.commTable = e.comm.Resolve()
+
+	byVantage := make(map[asrel.ASN][]*dataset.PathObs)
+	var vantages []asrel.ASN
+	for _, p := range paths {
+		if !locpref.Eligible(p) {
+			continue
+		}
+		if _, ok := byVantage[p.Vantage]; !ok {
+			vantages = append(vantages, p.Vantage)
+		}
+		byVantage[p.Vantage] = append(byVantage[p.Vantage], p)
+	}
+	for _, v := range vantages {
+		var contrib []lpVote
+		locpref.InferVantage(v, byVantage[v], e.dict, e.commTable, e.cfg, func(a, b asrel.ASN, rel asrel.Rel) {
+			contrib = append(contrib, lpVote{a, b, rel})
+			e.lp.Add(a, b, rel)
+		})
+		if len(contrib) > 0 {
+			e.lpVotes[v] = contrib
+		}
+	}
+	e.lpTable = e.lp.Resolve()
+}
+
+// results packages the current tables as inference results for
+// core.Assemble. Tables are cloned: the snapshot must not alias state
+// the engine keeps mutating.
+func (e *planeEngine) results() (*communityinfer.Result, *locpref.Result) {
+	return &communityinfer.Result{Table: e.commTable.Clone()},
+		&locpref.Result{Table: e.lpTable.Clone()}
+}

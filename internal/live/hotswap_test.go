@@ -1,0 +1,170 @@
+package live_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgpsim"
+	"hybridrel/internal/live"
+	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
+)
+
+// steadyLink picks a link present in both planes of the converged
+// snapshot with enough path visibility that churn cannot make it
+// vanish: the feed keeps at most ChurnGapMax (+1 in flight) routes
+// withdrawn at any instant, and one route removes at most one unique
+// path per plane.
+func steadyLink(t *testing.T, snap *snapshot.Snapshot, floor int) asrel.LinkKey {
+	t.Helper()
+	vis4 := make(map[asrel.LinkKey]int, len(snap.Links4))
+	for _, l := range snap.Links4 {
+		vis4[l.Key] = l.Visibility
+	}
+	var best asrel.LinkKey
+	bestVis := 0
+	for _, l := range snap.Links6 {
+		v4, ok := vis4[l.Key]
+		if !ok {
+			continue
+		}
+		if v := min(v4, l.Visibility); v > bestVis {
+			best, bestVis = l.Key, v
+		}
+	}
+	if bestVis < floor {
+		t.Fatalf("no dual-stack link with min visibility >= %d (best %s at %d)", floor, best, bestVis)
+	}
+	return best
+}
+
+// TestHotSwapUnderStreamingLoad is the zero-drop serving gate: while
+// the Runner applies churn and hot-swaps a fresh snapshot after every
+// single update (the most hostile cadence possible), reader goroutines
+// hammer /v1/rel and /v1/stats. Every read must return 200 with a
+// complete document, and the generation seen by any one reader must
+// never go backward. Run under -race this also pins the swap itself.
+func TestHotSwapUnderStreamingLoad(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(2718))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 13, ChurnEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Converge the table synchronously, then serve the initial snapshot.
+	ap := live.NewApplier(live.Config{Dict: dict})
+	n := feed.NumRoutes()
+	for _, ev := range feed.Events[:n] {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initial := ap.Snapshot()
+	srv := serve.New(initial)
+
+	// The feed keeps at most ChurnGapMax+1 routes withdrawn at once, so
+	// a link this visible in both planes stays present in every swap.
+	link := steadyLink(t, initial, 16)
+	relURL := fmt.Sprintf("/v1/rel?a=%d&b=%d", link.Lo, link.Hi)
+
+	events := make(chan live.Event, len(feed.Events)-n)
+	for _, ev := range feed.Events[n:] {
+		events <- live.Event{Vantage: ev.Vantage, Data: ev.Data}
+	}
+	close(events)
+
+	var swaps atomic.Int64
+	r := &live.Runner{
+		Applier: ap,
+		Swap: func(s *snapshot.Snapshot) error {
+			swaps.Add(1)
+			srv.Load(s)
+			return nil
+		},
+		Every: 1, // hostile cadence: swap after every applied update
+	}
+
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(done)
+		runErr = r.Run(context.Background(), events)
+	}()
+
+	const readers = 8
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-done:
+					errs <- nil
+					return
+				default:
+				}
+				req := httptest.NewRequest("GET", relURL, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d mid-swap: %s", relURL, rec.Code, rec.Body.String())
+					return
+				}
+				var rel serve.RelResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &rel); err != nil {
+					errs <- fmt.Errorf("%s: bad JSON mid-swap: %v", relURL, err)
+					return
+				}
+				if !rel.In4 && !rel.In6 {
+					errs <- fmt.Errorf("%s: link in neither plane", relURL)
+					return
+				}
+
+				req = httptest.NewRequest("GET", "/v1/stats", nil)
+				rec = httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("/v1/stats: status %d mid-swap", rec.Code)
+					return
+				}
+				var stats serve.StatsResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+					errs <- fmt.Errorf("/v1/stats: bad JSON mid-swap: %v", err)
+					return
+				}
+				if stats.Generation < lastGen {
+					errs <- fmt.Errorf("generation went backward: %d after %d", stats.Generation, lastGen)
+					return
+				}
+				lastGen = stats.Generation
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < readers; w++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if got := swaps.Load(); got < int64(len(feed.Events)-n) {
+		t.Errorf("runner swapped %d times for %d churn events", got, len(feed.Events)-n)
+	}
+	// The last installed snapshot is the final state.
+	if srv.Generation() < uint64(swaps.Load()) {
+		t.Errorf("server generation %d after %d swaps", srv.Generation(), swaps.Load())
+	}
+}

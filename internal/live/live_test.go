@@ -1,0 +1,281 @@
+package live_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgpsim"
+	"hybridrel/internal/collector"
+	"hybridrel/internal/community"
+	"hybridrel/internal/core"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/live"
+	"hybridrel/internal/pipeline"
+	"hybridrel/internal/rpsl"
+	"hybridrel/internal/snapshot"
+	"hybridrel/internal/testutil"
+)
+
+// liveConfig is a compact world: big enough for both inference methods
+// to fire and for hybrids to exist, small enough for -race CI.
+func liveConfig(seed int64) gen.Config {
+	cfg := gen.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumASes = 160
+	cfg.NumTier1 = 4
+	cfg.V6OnlyPeerings = 30
+	cfg.NumNoiseLeakers = 2
+	cfg.HubPeerings = 6
+	cfg.NumVantages = 10
+	return cfg
+}
+
+func buildWorld(t testing.TB, cfg gen.Config) (*gen.Internet, *community.Dictionary) {
+	t.Helper()
+	in, err := gen.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var irr bytes.Buffer
+	if err := in.WriteIRR(&irr); err != nil {
+		t.Fatal(err)
+	}
+	objs, _, err := rpsl.Parse(&irr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, community.FromIRR(objs)
+}
+
+// applyFeed runs every feed event through a fresh applier.
+func applyFeed(t testing.TB, feed *bgpsim.Feed, cfg live.Config) *live.Applier {
+	t.Helper()
+	ap := live.NewApplier(cfg)
+	for _, ev := range feed.Events {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ap
+}
+
+func snapBytes(t testing.TB, s *snapshot.Snapshot) []byte {
+	t.Helper()
+	b, err := snapshot.Bytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// batchBytes runs the batch pipeline over archives and encodes the
+// resulting snapshot.
+func batchBytes(t testing.TB, arch *testutil.Archives, parallelism int) []byte {
+	t.Helper()
+	src := pipeline.Sources{IRR: pipeline.Bytes("irr", arch.IRR)}
+	for i, b := range arch.MRT4 {
+		src.MRT4 = append(src.MRT4, pipeline.Bytes("mrt4", append([]byte(nil), b...)))
+		_ = i
+	}
+	for _, b := range arch.MRT6 {
+		src.MRT6 = append(src.MRT6, pipeline.Bytes("mrt6", append([]byte(nil), b...)))
+	}
+	a, err := core.RunPipeline(context.Background(), src, pipeline.WithParallelism(parallelism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapBytes(t, snapshot.Capture(a))
+}
+
+// TestLiveSmoke is the CI live-smoke gate: a seeded feed with well
+// over a thousand updates including withdrawals, applied through the
+// live subsystem, must produce a snapshot byte-identical to the batch
+// pipeline ingesting the full archives — at parallelism 1 and N.
+func TestLiveSmoke(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(4711))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 99, ChurnEvents: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Events) < 1000 {
+		t.Fatalf("feed too small for the smoke gate: %d events", len(feed.Events))
+	}
+	withdrawals := 0
+	for _, ev := range feed.Events {
+		if ev.Withdraw {
+			withdrawals++
+		}
+	}
+	if withdrawals < 100 {
+		t.Fatalf("feed carries only %d withdrawals", withdrawals)
+	}
+	if !feed.Converged() {
+		t.Fatal("churn-only feed should converge to the full table")
+	}
+
+	ap := applyFeed(t, feed, live.Config{Dict: dict})
+	liveBytes := snapBytes(t, ap.Snapshot())
+
+	arch, err := testutil.Collect(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batchBytes(t, arch, 1); !bytes.Equal(liveBytes, got) {
+		t.Error("live snapshot differs from batch (parallelism 1)")
+	}
+	if got := batchBytes(t, arch, 4); !bytes.Equal(liveBytes, got) {
+		t.Error("live snapshot differs from batch (parallelism 4)")
+	}
+}
+
+// TestLiveResidualEquivalence leaves routes withdrawn at the end of
+// the feed and checks the live snapshot against batch ingestion of
+// archives filtered to exactly the surviving routes.
+func TestLiveResidualEquivalence(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(271828))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 7, ChurnEvents: 250, Residual: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Converged() {
+		t.Fatal("residual feed unexpectedly converged")
+	}
+	ap := applyFeed(t, feed, live.Config{Dict: dict})
+	liveBytes := snapBytes(t, ap.Snapshot())
+
+	// Batch reference: archives restricted to the feed's final state.
+	cols := collector.Assign(in, 2)
+	arch := &testutil.Archives{}
+	var irr bytes.Buffer
+	if err := in.WriteIRR(&irr); err != nil {
+		t.Fatal(err)
+	}
+	arch.IRR = irr.Bytes()
+	for _, af := range []asrel.AF{asrel.IPv4, asrel.IPv6} {
+		bufs := make([]*bytes.Buffer, len(cols))
+		ws := make([]io.Writer, len(cols))
+		for i := range bufs {
+			bufs[i] = &bytes.Buffer{}
+			ws[i] = bufs[i]
+		}
+		if err := collector.DumpFiltered(in, af, cols, ws, testutil.DumpTime, feed.Keep(af)); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bufs {
+			if af == asrel.IPv6 {
+				arch.MRT6 = append(arch.MRT6, b.Bytes())
+			} else {
+				arch.MRT4 = append(arch.MRT4, b.Bytes())
+			}
+		}
+	}
+	if got := batchBytes(t, arch, 1); !bytes.Equal(liveBytes, got) {
+		t.Error("residual live snapshot differs from filtered batch")
+	}
+}
+
+// TestIncrementalMatchesFull drives churn through the incremental
+// dirty-set path and cross-checks every intermediate snapshot against
+// a forced full recompute of the same state.
+func TestIncrementalMatchesFull(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(1618))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 3, ChurnEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous threshold keeps the per-step path incremental; the
+	// shadow applier recomputes from scratch each time.
+	ap := live.NewApplier(live.Config{Dict: dict, DirtyThreshold: 0.9})
+	shadow := live.NewApplier(live.Config{Dict: dict})
+	checkpoints := 0
+	for i, ev := range feed.Events {
+		e := live.Event{Vantage: ev.Vantage, Data: ev.Data}
+		if err := ap.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := shadow.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+		// Snapshot at a hostile cadence through the churn tail.
+		if i > len(feed.Events)-200 && i%37 == 0 {
+			got := snapBytes(t, ap.Snapshot())
+			shadow.Recompute()
+			want := snapBytes(t, shadow.Snapshot())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("incremental snapshot diverged at event %d", i)
+			}
+			checkpoints++
+		}
+	}
+	if checkpoints == 0 {
+		t.Fatal("no checkpoints exercised")
+	}
+	if inc, _ := ap.Resolves(); inc == 0 {
+		t.Error("dirty-set path never taken; test exercised nothing")
+	}
+}
+
+// TestDirtyThresholdFallback forces the full-recompute fallback with a
+// tiny threshold and confirms results stay identical.
+func TestDirtyThresholdFallback(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(55))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 5, ChurnEvents: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := applyFeed(t, feed, live.Config{Dict: dict, DirtyThreshold: 1e-9})
+	tinyBytes := snapBytes(t, tiny.Snapshot())
+	if _, full := tiny.Resolves(); full == 0 {
+		t.Error("tiny threshold never fell back to full recompute")
+	}
+	big := applyFeed(t, feed, live.Config{Dict: dict, DirtyThreshold: 0.99})
+	if !bytes.Equal(tinyBytes, snapBytes(t, big.Snapshot())) {
+		t.Error("threshold choice changed the snapshot")
+	}
+}
+
+// TestRunnerDrain cancels the runner mid-stream and checks the drain
+// contract: buffered events are applied and a final snapshot lands.
+func TestRunnerDrain(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(808))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 11, ChurnEvents: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := live.NewApplier(live.Config{Dict: dict})
+	events := make(chan live.Event, len(feed.Events))
+	for _, ev := range feed.Events {
+		events <- live.Event{Vantage: ev.Vantage, Data: ev.Data}
+	}
+	swaps := 0
+	var last *snapshot.Snapshot
+	r := &live.Runner{
+		Applier: ap,
+		Swap: func(s *snapshot.Snapshot) error {
+			swaps++
+			last = s
+			return nil
+		},
+		Every: 500,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first receive: pure drain
+	if err := r.Run(ctx, events); err != nil {
+		t.Fatal(err)
+	}
+	if swaps == 0 || last == nil {
+		t.Fatal("drain did not produce a final snapshot")
+	}
+	applied, _ := ap.Applied()
+	if applied != len(feed.Events) {
+		t.Fatalf("drain applied %d of %d buffered events", applied, len(feed.Events))
+	}
+
+	// The drained final snapshot equals a direct capture.
+	if !bytes.Equal(snapBytes(t, last), snapBytes(t, ap.Snapshot())) {
+		t.Error("drained snapshot is not the final state")
+	}
+}

@@ -9,6 +9,13 @@
 // core assembles them into the memoized Analysis. That keeps the
 // dependency arrow pointing one way — core wraps pipeline, never the
 // reverse — so core.Run can stay a thin compatibility shim.
+//
+// Package internal/live is this pipeline's streaming counterpart: the
+// same ingestion, inference, and assembly primitives driven by a
+// continuous BGP UPDATE feed instead of finished archives, contracted
+// to produce byte-identical snapshots at any quiescent point (the
+// scenario matrix's live-batch-equivalence invariant enforces this on
+// every family).
 package pipeline
 
 import (

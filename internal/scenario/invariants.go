@@ -10,8 +10,11 @@ import (
 	"reflect"
 
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/core"
+	"hybridrel/internal/gen"
 	"hybridrel/internal/intern"
+	"hybridrel/internal/live"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/snapshot"
@@ -23,14 +26,17 @@ const (
 	InvRoundTrip   = "snapshot-roundtrip"
 	InvServe       = "serve-accessor-agreement"
 	InvInterned    = "interned-legacy-equivalence"
+	InvLive        = "live-batch-equivalence"
 )
 
 // checkInvariants runs the shared differential suite over one
 // scenario's reference analysis: the concurrent pipeline must be
 // byte-identical to the sequential one, the snapshot codec must
-// round-trip to identical bytes, and the serving layer's responses
-// must agree with the Analysis accessors.
-func checkInvariants(ctx context.Context, src pipeline.Sources, a *core.Analysis, parallelism int) []InvariantResult {
+// round-trip to identical bytes, the serving layer's responses must
+// agree with the Analysis accessors, and the live streaming ingester
+// replaying the same world as a churning update feed must converge to
+// a byte-identical snapshot.
+func checkInvariants(ctx context.Context, src pipeline.Sources, in *gen.Internet, feedCfg bgpsim.FeedConfig, a *core.Analysis, parallelism int) []InvariantResult {
 	verdict := func(name string, err error) InvariantResult {
 		r := InvariantResult{Name: name, OK: err == nil}
 		if err != nil {
@@ -38,14 +44,14 @@ func checkInvariants(ctx context.Context, src pipeline.Sources, a *core.Analysis
 		}
 		return r
 	}
-	snapBytes, err := encodeSnapshot(snapshot.Capture(a))
+	snapBytes, err := snapshot.Bytes(snapshot.Capture(a))
 	if err != nil {
 		// Without reference bytes none of the differential checks can
 		// run; report the failure on all of them.
 		e := fmt.Errorf("encoding the reference snapshot: %w", err)
 		return []InvariantResult{
 			verdict(InvParallelism, e), verdict(InvRoundTrip, e),
-			verdict(InvServe, e), verdict(InvInterned, e),
+			verdict(InvServe, e), verdict(InvInterned, e), verdict(InvLive, e),
 		}
 	}
 	return []InvariantResult{
@@ -53,7 +59,47 @@ func checkInvariants(ctx context.Context, src pipeline.Sources, a *core.Analysis
 		verdict(InvRoundTrip, checkRoundTrip(snapBytes)),
 		verdict(InvServe, checkServe(a)),
 		verdict(InvInterned, checkInterned(a)),
+		verdict(InvLive, checkLive(in, feedCfg, a, snapBytes)),
 	}
+}
+
+// checkLive replays the scenario's world as a seeded BGP UPDATE stream
+// — full announcement phase, then flap churn with withdrawals — through
+// the live ingest subsystem, and requires the resulting snapshot to be
+// byte-identical to the batch reference once the feed has converged
+// back to the full table.
+func checkLive(in *gen.Internet, feedCfg bgpsim.FeedConfig, a *core.Analysis, want []byte) error {
+	feed, err := bgpsim.GenerateFeed(in, feedCfg)
+	if err != nil {
+		return fmt.Errorf("generating the feed: %w", err)
+	}
+	if !feed.Converged() {
+		return fmt.Errorf("churn-only feed did not converge")
+	}
+	withdrawals := 0
+	for _, ev := range feed.Events {
+		if ev.Withdraw {
+			withdrawals++
+		}
+	}
+	if feedCfg.ChurnEvents > 0 && withdrawals == 0 {
+		return fmt.Errorf("churn feed carried no withdrawals; invariant would be vacuous")
+	}
+	ap := live.NewApplier(live.Config{Dict: a.Dict})
+	for i, ev := range feed.Events {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			return fmt.Errorf("applying event %d/%d: %w", i, len(feed.Events), err)
+		}
+	}
+	got, err := snapshot.Bytes(ap.Snapshot())
+	if err != nil {
+		return fmt.Errorf("encoding the live snapshot: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("live snapshot differs from batch after %d events (%d withdrawals): %d vs %d bytes",
+			len(feed.Events), withdrawals, len(got), len(want))
+	}
+	return nil
 }
 
 // checkInterned requires the interned flat-table/CSR hot path and the
@@ -113,16 +159,6 @@ func checkInterned(a *core.Analysis) error {
 	return nil
 }
 
-// encodeSnapshot serializes uncompressed, the canonical byte form the
-// differential checks compare.
-func encodeSnapshot(s *snapshot.Snapshot) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := snapshot.Encode(&buf, s, false); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
 // checkParallelism re-runs the pipeline with a concurrent worker pool
 // and requires its snapshot to be byte-identical to the sequential
 // reference — every derived product, not just headline counters, must
@@ -132,7 +168,7 @@ func checkParallelism(ctx context.Context, src pipeline.Sources, want []byte, pa
 	if err != nil {
 		return fmt.Errorf("parallel run: %w", err)
 	}
-	got, err := encodeSnapshot(snapshot.Capture(aN))
+	got, err := snapshot.Bytes(snapshot.Capture(aN))
 	if err != nil {
 		return fmt.Errorf("encoding the parallel snapshot: %w", err)
 	}
@@ -150,7 +186,7 @@ func checkRoundTrip(want []byte) error {
 	if err != nil {
 		return fmt.Errorf("decoding: %w", err)
 	}
-	got, err := encodeSnapshot(s)
+	got, err := snapshot.Bytes(s)
 	if err != nil {
 		return fmt.Errorf("re-encoding: %w", err)
 	}
@@ -189,8 +225,19 @@ func checkServe(a *core.Analysis) error {
 	if err := get("/v1/stats", &stats); err != nil {
 		return err
 	}
-	if want := serve.StatsOf(snap); !reflect.DeepEqual(stats, want) {
-		return fmt.Errorf("/v1/stats disagrees with the accessors:\ngot  %+v\nwant %+v", stats, want)
+	// Freshness fields are serving-side and per-request; sanity-check
+	// them, then neutralize before the structural comparison.
+	if stats.Generation < 1 {
+		return fmt.Errorf("/v1/stats generation %d, want >= 1 after one load", stats.Generation)
+	}
+	if stats.SnapshotAgeSeconds < 0 {
+		return fmt.Errorf("/v1/stats snapshot_age_seconds %v is negative", stats.SnapshotAgeSeconds)
+	}
+	wantStats := serve.StatsOf(snap)
+	wantStats.Generation = stats.Generation
+	wantStats.SnapshotAgeSeconds = stats.SnapshotAgeSeconds
+	if !reflect.DeepEqual(stats, wantStats) {
+		return fmt.Errorf("/v1/stats disagrees with the accessors:\ngot  %+v\nwant %+v", stats, wantStats)
 	}
 
 	var health serve.HealthResponse

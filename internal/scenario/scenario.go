@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hybridrel/internal/asrel"
+	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/infer"
@@ -75,6 +76,13 @@ type Scenario struct {
 	// measured values are always reported either way.
 	MinAccuracy        float64
 	MinHybridPrecision float64
+	// Churn is the number of withdraw/re-announce flap events in the
+	// live-ingest feed the live-batch equivalence invariant replays.
+	Churn int
+	// FlapBias steers the feed's churn toward routes crossing the
+	// planted hybrid links, so hybrids are repeatedly withdrawn and
+	// re-announced before the equivalence check.
+	FlapBias bool
 }
 
 // Config returns the generator configuration for a tier.
@@ -110,6 +118,7 @@ func family(name, desc string, seed int64, collectors int, mutate func(*gen.Conf
 		Full:               gen.SmallConfig(),
 		MinAccuracy:        0.80,
 		MinHybridPrecision: 0.80,
+		Churn:              160,
 	}
 	sc.Short.Seed = seed
 	sc.Full.Seed = seed
@@ -165,8 +174,27 @@ func Matrix() []Scenario {
 				c.NumVantages = 6
 				c.VantageLocPrfFrac = 0.2
 			}),
+		churnHeavy(),
 		dark(),
 	}
+}
+
+// churnHeavy is the live-ingest stress family: a tunnel-rich topology
+// whose feed flaps heavily, with the churn biased toward routes
+// crossing the planted hybrid links — every hybrid is withdrawn and
+// re-announced repeatedly before the live-batch equivalence check and
+// the ground-truth grading run.
+func churnHeavy() Scenario {
+	sc := family("churn-heavy",
+		"flapping tunnels: hybrid-crossing routes withdrawn and re-announced throughout the feed", 1039, 2,
+		func(c *gen.Config) {
+			c.V6TransitProb = 0.55
+			c.DualStackLinkProb = 0.55
+			c.HybridFraction = 0.20
+		})
+	sc.Churn = 600
+	sc.FlapBias = true
+	return sc
 }
 
 // dark is the adversarial-communities family: the signal the paper
@@ -327,7 +355,16 @@ func Run(ctx context.Context, sc Scenario, opt Options) (*Result, error) {
 		V6ASes:     in.Graph6.NumNodes(),
 		DualStack:  a.Coverage().DualStack,
 	}
-	res.Invariants = checkInvariants(ctx, src, a, opt.parallelism())
+	// The live-batch equivalence invariant replays the same world as a
+	// churning update stream; FlapBias steers the flaps onto the
+	// planted hybrid links.
+	feedCfg := bgpsim.FeedConfig{Seed: cfg.Seed ^ 0x1ee7, ChurnEvents: sc.Churn}
+	if sc.FlapBias {
+		for _, h := range in.Hybrids {
+			feedCfg.Bias = append(feedCfg.Bias, h.Key)
+		}
+	}
+	res.Invariants = checkInvariants(ctx, src, in, feedCfg, a, opt.parallelism())
 
 	res.Planes = []PlaneReport{
 		gradePlane("ipv4", a.Rel4, in.Truth4, a.D4.Links()),

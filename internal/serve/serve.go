@@ -55,6 +55,10 @@ type Server struct {
 	state  atomic.Pointer[state]
 	source LoadFunc
 	mux    *http.ServeMux
+	// generation counts installed snapshots; each Load stamps the new
+	// state with the next value, so /v1/stats exposes a strictly
+	// monotone reload counter (the live hot-swap observability hook).
+	generation atomic.Uint64
 	// reloadMu serializes Reload so a slow, older load can never land
 	// after — and overwrite — a newer one.
 	reloadMu sync.Mutex
@@ -95,8 +99,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Load indexes snap and atomically installs it. In-flight requests
 // keep reading the state they started with.
 func (s *Server) Load(snap *snapshot.Snapshot) {
-	s.state.Store(buildState(snap))
+	st := buildState(snap)
+	st.generation = s.generation.Add(1)
+	s.state.Store(st)
 }
+
+// Generation returns the number of snapshots installed so far.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
 
 // Snapshot returns the currently installed snapshot.
 func (s *Server) Snapshot() *snapshot.Snapshot {
@@ -149,8 +158,9 @@ type state struct {
 	// list (visibility) order, so filtered pagination is a slice.
 	byClass [asrel.HybridOther + 1][]int32
 
-	stats    StatsResponse
-	loadedAt time.Time
+	stats      StatsResponse
+	loadedAt   time.Time
+	generation uint64
 }
 
 // asEntry is one AS's precomputed adjacency.
@@ -494,7 +504,13 @@ func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.state.Load().stats)
+	st := s.state.Load()
+	// The snapshot-derived body is precomputed at load time; only the
+	// freshness fields are stamped per request.
+	resp := st.stats
+	resp.Generation = st.generation
+	resp.SnapshotAgeSeconds = time.Since(st.loadedAt).Seconds()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -456,8 +456,19 @@ func TestStatsAndHealth(t *testing.T) {
 	if code := get(t, srv, "GET", "/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	if !reflect.DeepEqual(stats, StatsOf(snap)) {
-		t.Errorf("stats response differs from StatsOf:\ngot  %+v\nwant %+v", stats, StatsOf(snap))
+	// Freshness fields are stamped per request: the constructor's Load
+	// is generation 1, and the snapshot was installed moments ago.
+	if stats.Generation != 1 {
+		t.Errorf("generation %d after the constructor load, want 1", stats.Generation)
+	}
+	if stats.SnapshotAgeSeconds < 0 || stats.SnapshotAgeSeconds > 60 {
+		t.Errorf("snapshot_age_seconds %v implausible for a fresh server", stats.SnapshotAgeSeconds)
+	}
+	want := StatsOf(snap)
+	want.Generation = stats.Generation
+	want.SnapshotAgeSeconds = stats.SnapshotAgeSeconds
+	if !reflect.DeepEqual(stats, want) {
+		t.Errorf("stats response differs from StatsOf:\ngot  %+v\nwant %+v", stats, want)
 	}
 	if stats.Coverage.Paths6 != a.Coverage().Paths6 ||
 		stats.Census.Hybrid != a.HybridCensus().Hybrid ||
@@ -572,6 +583,7 @@ func TestHotReloadUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var lastGen uint64
 			for i := 0; i < perWorker; i++ {
 				// Stats must match exactly one of the two snapshots.
 				req := httptest.NewRequest("GET", "/v1/stats", nil)
@@ -582,6 +594,19 @@ func TestHotReloadUnderLoad(t *testing.T) {
 					errs <- fmt.Errorf("stats: bad JSON: %v", err)
 					return
 				}
+				// Freshness fields vary per swap and per request; as seen
+				// by any single reader the generation never goes backward.
+				if got.Generation < lastGen {
+					errs <- fmt.Errorf("generation went backward: %d after %d", got.Generation, lastGen)
+					return
+				}
+				lastGen = got.Generation
+				if got.SnapshotAgeSeconds < 0 {
+					errs <- fmt.Errorf("negative snapshot age %v", got.SnapshotAgeSeconds)
+					return
+				}
+				got.Generation = 0
+				got.SnapshotAgeSeconds = 0
 				if !reflect.DeepEqual(got, statsA) && !reflect.DeepEqual(got, statsB) {
 					errs <- fmt.Errorf("stats matched neither snapshot: %+v", got)
 					return

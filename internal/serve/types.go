@@ -128,12 +128,20 @@ type ValleyJSON struct {
 }
 
 // StatsResponse answers GET /v1/stats: every headline statistic of the
-// loaded snapshot.
+// loaded snapshot, plus live-mode freshness. Generation counts
+// snapshot installs on this server (strictly monotone across
+// hot-swaps, starting at 1); SnapshotAgeSeconds is the age of the
+// currently-installed snapshot at response time. Both are zero in
+// offline contexts (CLI -json output, StatsOf) where no server is
+// involved.
 type StatsResponse struct {
 	Coverage   CoverageJSON   `json:"coverage"`
 	Census     CensusJSON     `json:"census"`
 	Visibility VisibilityJSON `json:"visibility"`
 	Valley     ValleyJSON     `json:"valley"`
+
+	Generation         uint64  `json:"generation"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 }
 
 // HealthResponse answers GET /healthz.

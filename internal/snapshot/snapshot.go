@@ -34,6 +34,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
@@ -161,6 +162,18 @@ func encodeFile(path string, s *Snapshot) error {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	return nil
+}
+
+// Bytes encodes the snapshot uncompressed into memory. The encoding
+// is canonical (sorted tables, no timestamps), so equality of Bytes
+// output is the repository-wide definition of "the same results" —
+// the live-vs-batch and parallelism invariants all compare it.
+func Bytes(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, false); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Encode serializes s. With compress set the payload is gzipped

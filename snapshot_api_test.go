@@ -87,6 +87,13 @@ func TestSnapshotServeEndToEnd(t *testing.T) {
 	if stats.Census.Hybrid != a.HybridCensus().Hybrid {
 		t.Errorf("served hybrid count %d, live %d", stats.Census.Hybrid, a.HybridCensus().Hybrid)
 	}
+	// Freshness schema pin: one load so far, and a nonnegative age.
+	if stats.Generation != 1 {
+		t.Errorf("stats generation %d before any reload, want 1", stats.Generation)
+	}
+	if stats.SnapshotAgeSeconds < 0 {
+		t.Errorf("stats snapshot_age_seconds %v is negative", stats.SnapshotAgeSeconds)
+	}
 
 	h := a.Hybrids()[0]
 	var rel serve.RelResponse
@@ -105,6 +112,15 @@ func TestSnapshotServeEndToEnd(t *testing.T) {
 	}
 	if reloads != 1 || reloaded.Status != "reloaded" {
 		t.Errorf("reload: %d calls, %+v", reloads, reloaded)
+	}
+
+	// Every snapshot install — constructor or reload — bumps the
+	// generation; readers can use it to detect a hot swap.
+	if code := getJSON("GET", "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats after reload: status %d", code)
+	}
+	if stats.Generation != 2 {
+		t.Errorf("stats generation %d after one reload, want 2", stats.Generation)
 	}
 }
 
