@@ -21,8 +21,10 @@
 // instead: sequential, visitor-decode and parallel ingest, the dedup
 // microbenchmark pair, the dual-stack join and inference derived
 // products in both the interned and the legacy map representation, the
-// snapshot codec, and the serving layer's per-AS endpoint. Results are
-// written to -benchout (BENCH_PR6.json by default) — the perf
+// snapshot codec, and the serving layer's per-AS and per-link
+// endpoints (the latter bare and fully instrumented, bounding the
+// observability middleware's overhead). Results are
+// written to -benchout (BENCH_PR7.json by default) — the perf
 // trajectory CI uploads on every change — and printed as a table (or
 // to stdout as JSON with -json). -benchtime accepts a duration or
 // "1x" for the single-iteration CI smoke mode. -benchbaseline diffs
@@ -80,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tier      = fs.String("tier", "short", "scenario matrix / benchmark tier: short | full")
 		bench     = fs.Bool("bench", false, "run the hot-path benchmark suite instead of the paper tables")
 		benchTime = fs.String("benchtime", "1s", "per-benchmark time budget (duration, or 1x for one iteration)")
-		benchOut  = fs.String("benchout", "BENCH_PR6.json", "file the benchmark report is written to")
+		benchOut  = fs.String("benchout", "BENCH_PR7.json", "file the benchmark report is written to")
 		benchBase = fs.String("benchbaseline", "", "committed baseline report to diff against; exit non-zero on a >2x ns/op regression")
 		scName    = fs.String("scenario", "tunnel-heavy", "scenario family the benchmarks run against")
 	)

@@ -97,13 +97,14 @@ func TestRunBenchSmoke(t *testing.T) {
 		"inference/map", "inference/flat",
 		"snapshot/encode", "snapshot/decode", "serve/as",
 		"infer/full", "infer/incremental",
+		"serve/rel", "serve/rel-instrumented",
 	} {
 		if !names[want] {
 			t.Errorf("benchmark %s missing from the suite", want)
 		}
 	}
-	if len(rep.Comparisons) != 4 {
-		t.Fatalf("got %d comparisons, want 4 (join, inference, dedup, live-infer)", len(rep.Comparisons))
+	if len(rep.Comparisons) != 5 {
+		t.Fatalf("got %d comparisons, want 5 (join, inference, dedup, live-infer, serve-obs)", len(rep.Comparisons))
 	}
 	if rep.Scenario != "tunnel-heavy" || rep.World.DualStack == 0 {
 		t.Errorf("report world looks wrong: %+v", rep.World)

@@ -18,9 +18,19 @@
 // /v1/reload re-runs the loader (re-reads the snapshot file or re-runs
 // the pipeline) and atomically swaps the indexed state; in -live mode
 // the stream itself drives the swaps and /v1/stats exposes the swap
-// generation and snapshot age. SIGINT/SIGTERM shut down gracefully —
+// generation and snapshot age.  SIGINT/SIGTERM shut down gracefully —
 // live mode drains buffered updates and installs one final snapshot
 // before the listener closes.
+//
+// Every run is production-instrumented: GET /metrics exposes the
+// serving, live-ingest, and pipeline series in the Prometheus text
+// format, /healthz answers the instant the listener is up (liveness)
+// while /readyz flips only once a snapshot is installed (readiness),
+// -request-timeout bounds each data-plane request, -reload-timeout
+// bounds snapshot reloads, -max-inflight sheds excess concurrency with
+// 429 + Retry-After, -log-json streams one JSON access record per
+// request to stdout, and -pprof mounts net/http/pprof under
+// /debug/pprof/ for on-demand profiling.
 //
 // Usage:
 //
@@ -28,6 +38,7 @@
 //	hybridserve -irr irr.db -v4 ribs4/ -v6 ribs6/ [-addr :8080] [-parallel N]
 //	hybridserve -synth small [-addr :8080]
 //	hybridserve -live small [-addr :8080] [-live-rate 200] [-live-every 256] [-live-interval 2s]
+//	hybridserve ... [-log-json] [-request-timeout 30s] [-reload-timeout 5m] [-max-inflight 1024] [-pprof]
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,12 +63,18 @@ import (
 	"hybridrel/internal/community"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/live"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/rpsl"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/snapshot"
 )
 
 func main() { cli.Main("hybridserve", run) }
+
+// baseContext is the root the signal-handling context derives from.
+// The end-to-end test swaps it for a cancelable context so it can
+// drive a clean shutdown without signaling the whole test process.
+var baseContext = context.Background
 
 // run is the testable entry point: it parses args, loads the snapshot
 // source, and serves until interrupted. Mode and flag errors return
@@ -66,21 +84,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hybridserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		snapPath = fs.String("snapshot", "", "serve an exported snapshot file")
-		irrPath  = fs.String("irr", "", "IRR database (RPSL), pipeline mode")
-		v4List   = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
-		v6List   = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
-		synth    = fs.String("synth", "", "serve a synthetic world: small | default")
-		liveMode = fs.String("live", "", "stream a live synthetic BGP feed: small | default")
-		liveRate = fs.Int("live-rate", 200, "live mode: updates per second streamed into the ingester")
-		liveEvr  = fs.Int("live-every", 256, "live mode: hot-swap a snapshot after this many applied updates")
-		liveIvl  = fs.Duration("live-interval", 2*time.Second, "live mode: also hot-swap on this timer when updates arrived")
-		parallel = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
-		grace    = fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+		addr       = fs.String("addr", ":8080", "listen address")
+		snapPath   = fs.String("snapshot", "", "serve an exported snapshot file")
+		irrPath    = fs.String("irr", "", "IRR database (RPSL), pipeline mode")
+		v4List     = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
+		v6List     = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
+		synth      = fs.String("synth", "", "serve a synthetic world: small | default")
+		liveMode   = fs.String("live", "", "stream a live synthetic BGP feed: small | default")
+		liveRate   = fs.Int("live-rate", 200, "live mode: updates per second streamed into the ingester")
+		liveEvr    = fs.Int("live-every", 256, "live mode: hot-swap a snapshot after this many applied updates")
+		liveIvl    = fs.Duration("live-interval", 2*time.Second, "live mode: also hot-swap on this timer when updates arrived")
+		parallel   = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
+		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+		logJSON    = fs.Bool("log-json", false, "write one JSON access record per request to stdout")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline; exceeded requests answer 503 (0 disables)")
+		relTimeout = fs.Duration("reload-timeout", 5*time.Minute, "snapshot-reload deadline; exceeded reloads answer 504 and keep the old snapshot (0 disables)")
+		maxInfl    = fs.Int("max-inflight", 1024, "concurrent-request ceiling; excess requests answer 429 with Retry-After (0 disables)")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+
+	// One registry per invocation: run() is re-entered by tests, and
+	// series registration is deliberately panic-on-duplicate.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	serveOpts := []serve.Option{
+		serve.WithMetrics(reg),
+		serve.WithRequestTimeout(*reqTimeout),
+		serve.WithReloadTimeout(*relTimeout),
+		serve.WithMaxInflight(*maxInfl),
+	}
+	if *logJSON {
+		serveOpts = append(serveOpts, serve.WithAccessLog(stdout))
 	}
 
 	if *liveMode != "" {
@@ -88,17 +125,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stderr, "hybridserve: -live cannot be combined with other source modes")
 			return cli.ErrUsage
 		}
-		return runLive(*liveMode, *addr, *liveRate, *liveEvr, *liveIvl, *grace, logger)
+		return runLive(liveOptions{
+			scale:     *liveMode,
+			addr:      *addr,
+			rate:      *liveRate,
+			every:     *liveEvr,
+			interval:  *liveIvl,
+			grace:     *grace,
+			reg:       reg,
+			serveOpts: serveOpts,
+			pprof:     *pprofOn,
+		}, logger)
 	}
 
-	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel)
+	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel,
+		hybridrel.NewPipelineMetrics(reg))
 	if err != nil {
 		fmt.Fprintf(stderr, "hybridserve: %v\n", err)
 		fmt.Fprintln(stderr, "usage: hybridserve -snapshot out.bin | -irr irr.db -v4 ribs4/ -v6 ribs6/ | -synth small")
 		return cli.ErrUsage
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(baseContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	start := time.Now()
@@ -110,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		time.Since(start).Round(time.Millisecond),
 		len(snap.Hybrids), len(snap.Links4), len(snap.Links6))
 
-	srv := hybridrel.NewServer(snap, hybridrel.WithReload(load))
+	srv := hybridrel.NewServer(snap, append(serveOpts, hybridrel.WithReload(load))...)
 
 	// SIGHUP hot-reloads: the loader re-runs and the indexed state swaps
 	// atomically, so in-flight requests never observe a partial load.
@@ -140,9 +188,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on http://%s (GET /v1/rel /v1/as/{asn} /v1/hybrids /v1/stats /healthz, POST /v1/reload)", ln.Addr())
+	logger.Printf("serving on http://%s (GET /v1/rel /v1/as/{asn} /v1/hybrids /v1/stats /healthz /readyz /metrics, POST /v1/reload)", ln.Addr())
 
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: withPprof(srv, *pprofOn)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -157,24 +205,72 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
+// withPprof mounts the net/http/pprof handlers in front of h when
+// enabled. Profiling stays opt-in: the endpoints expose internals and
+// cost CPU while sampling, so production runs choose them explicitly.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
+// liveOptions bundles the -live mode configuration.
+type liveOptions struct {
+	scale     string
+	addr      string
+	rate      int
+	every     int
+	interval  time.Duration
+	grace     time.Duration
+	reg       *obs.Registry
+	serveOpts []serve.Option
+	pprof     bool
+}
+
 // runLive is the -live mode: build a synthetic world, converge its
 // routing table through the streaming ingester, then churn it forever
 // as a paced UPDATE stream, hot-swapping a freshly re-inferred
-// snapshot into the serving state on the configured cadence. Shutdown
+// snapshot into the serving state on the configured cadence.
+//
+// The listener comes up before the world is built: /healthz and
+// /metrics answer immediately, data endpoints answer 503 and /readyz
+// stays not-ready until the converged table is installed. Shutdown
 // drains: buffered updates are applied and one final snapshot is
 // installed before the listener closes.
-func runLive(scale, addr string, rate, every int, interval, grace time.Duration, logger *log.Logger) error {
+func runLive(lo liveOptions, logger *log.Logger) error {
 	cfg := gen.DefaultConfig()
-	switch scale {
+	switch lo.scale {
 	case "small":
 		cfg = gen.SmallConfig()
 	case "default":
 	default:
-		return fmt.Errorf("unknown -live scale %q (want small or default)", scale)
+		return fmt.Errorf("unknown -live scale %q (want small or default)", lo.scale)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(baseContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Listen first, serve the pre-load window: liveness and metrics are
+	// observable while the table converges.
+	srv := serve.New(nil, lo.serveOpts...)
+	ln, err := net.Listen("tcp", lo.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving live on http://%s (converging table; /readyz flips after the first snapshot; ~%d updates/s, swap every %d updates or %v)",
+		ln.Addr(), lo.rate, lo.every, lo.interval)
+	hs := &http.Server{Handler: withPprof(srv, lo.pprof)}
+	defer hs.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
 
 	start := time.Now()
 	in, err := gen.Build(cfg)
@@ -189,7 +285,10 @@ func runLive(scale, addr string, rate, every int, interval, grace time.Duration,
 	if err != nil {
 		return err
 	}
-	ap := live.NewApplier(live.Config{Dict: community.FromIRR(objs)})
+	ap := live.NewApplier(live.Config{
+		Dict:    community.FromIRR(objs),
+		Metrics: live.NewMetrics(lo.reg),
+	})
 
 	// Converge once synchronously so the server starts with a full
 	// table, then stream only churn.
@@ -204,7 +303,7 @@ func runLive(scale, addr string, rate, every int, interval, grace time.Duration,
 		}
 	}
 	snap := ap.Snapshot()
-	srv := serve.New(snap)
+	srv.Load(snap)
 	logger.Printf("live table converged in %v: %d routes, %d hybrids, %d IPv4 links, %d IPv6 links",
 		time.Since(start).Round(time.Millisecond), n,
 		len(snap.Hybrids), len(snap.Links4), len(snap.Links6))
@@ -216,8 +315,8 @@ func runLive(scale, addr string, rate, every int, interval, grace time.Duration,
 	go func() {
 		defer close(events)
 		var pace <-chan time.Time
-		if rate > 0 {
-			t := time.NewTicker(time.Second / time.Duration(rate))
+		if lo.rate > 0 {
+			t := time.NewTicker(time.Second / time.Duration(lo.rate))
 			defer t.Stop()
 			pace = t.C
 		}
@@ -258,22 +357,12 @@ func runLive(scale, addr string, rate, every int, interval, grace time.Duration,
 				srv.Generation(), len(s.Hybrids), len(s.Links4), len(s.Links6))
 			return nil
 		},
-		Every:    every,
-		Interval: interval,
+		Every:    lo.every,
+		Interval: lo.interval,
 	}
 	runnerDone := make(chan error, 1)
 	go func() { runnerDone <- runner.Run(ctx, events) }()
 
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	logger.Printf("serving live on http://%s (streaming ~%d updates/s, swap every %d updates or %v)",
-		ln.Addr(), rate, every, interval)
-
-	hs := &http.Server{Handler: srv}
-	errc := make(chan error, 1)
-	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -287,16 +376,17 @@ func runLive(scale, addr string, rate, every int, interval, grace time.Duration,
 		applied, withdrawals := ap.Applied()
 		logger.Printf("drained: %d updates applied (%d withdrawals), final generation %d",
 			applied, withdrawals, srv.Generation())
-		logger.Printf("shutting down (in-flight requests get %v)...", grace)
-		shCtx, cancel := context.WithTimeout(context.Background(), grace)
+		logger.Printf("shutting down (in-flight requests get %v)...", lo.grace)
+		shCtx, cancel := context.WithTimeout(context.Background(), lo.grace)
 		defer cancel()
 		return hs.Shutdown(shCtx)
 	}
 }
 
 // loader builds the snapshot source for the selected mode; the same
-// function serves the initial load and every hot reload.
-func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serve.LoadFunc, error) {
+// function serves the initial load and every hot reload, folding each
+// pipeline run's ingest tallies into pm.
+func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int, pm *hybridrel.PipelineMetrics) (serve.LoadFunc, error) {
 	modes := 0
 	for _, on := range []bool{snapPath != "", v4List != "" || v6List != "" || irrPath != "", synth != ""} {
 		if on {
@@ -327,7 +417,8 @@ func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serv
 			if err != nil {
 				return nil, err
 			}
-			a, err := hybridrel.RunPipeline(ctx, w.Sources(), hybridrel.WithParallelism(parallel))
+			a, err := hybridrel.RunPipeline(ctx, w.Sources(),
+				hybridrel.WithParallelism(parallel), hybridrel.WithPipelineMetrics(pm))
 			if err != nil {
 				return nil, err
 			}
@@ -350,7 +441,8 @@ func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int) (serv
 			if irrPath != "" {
 				in.IRR = hybridrel.SourceFile(irrPath)
 			}
-			a, err := hybridrel.RunPipeline(ctx, in, hybridrel.WithParallelism(parallel))
+			a, err := hybridrel.RunPipeline(ctx, in,
+				hybridrel.WithParallelism(parallel), hybridrel.WithPipelineMetrics(pm))
 			if err != nil {
 				return nil, err
 			}

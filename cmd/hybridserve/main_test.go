@@ -8,11 +8,18 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hybridrel/internal/cli"
+	"hybridrel/internal/obs"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -54,23 +61,213 @@ func TestRunBadInput(t *testing.T) {
 func TestLoaderModes(t *testing.T) {
 	// The loader is the mode selector; every valid mode yields a
 	// LoadFunc and every invalid combination an error.
-	if _, err := loader("", "", "", "", "", 0); err == nil {
+	if _, err := loader("", "", "", "", "", 0, nil); err == nil {
 		t.Error("no mode accepted")
 	}
-	if _, err := loader("a.bin", "", "", "", "small", 0); err == nil {
+	if _, err := loader("a.bin", "", "", "", "small", 0, nil); err == nil {
 		t.Error("two modes accepted")
 	}
-	if _, err := loader("", "irr.db", "", "", "", 0); err == nil {
+	if _, err := loader("", "irr.db", "", "", "", 0, nil); err == nil {
 		t.Error("pipeline mode without archives accepted")
 	}
-	if _, err := loader("", "", "", "", "galactic", 0); err == nil {
+	if _, err := loader("", "", "", "", "galactic", 0, nil); err == nil {
 		t.Error("unknown synth scale accepted")
 	}
-	load, err := loader("a.bin", "", "", "", "", 0)
+	load, err := loader("a.bin", "", "", "", "", 0, nil)
 	if err != nil || load == nil {
 		t.Fatalf("snapshot mode: %v", err)
 	}
 	if _, err := load(context.Background()); err == nil {
 		t.Error("loading a nonexistent snapshot succeeded")
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe to write from server goroutines
+// while the test polls its contents.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var servingLineRE = regexp.MustCompile(`serving live on http://(\S+) `)
+
+// TestLiveMetricsEndToEnd boots the real -live serving loop on an
+// ephemeral port, scrapes GET /metrics from outside over TCP, and
+// asserts the exposition parses and carries the serving, live-ingest,
+// and process series with sane values — the same contract the CI
+// live-smoke job checks against a shipped binary.
+func TestLiveMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full live world")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := baseContext
+	baseContext = func() context.Context { return ctx }
+	defer func() { baseContext = orig }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-live", "small", "-addr", "127.0.0.1:0",
+			"-live-rate", "500", "-live-every", "64", "-live-interval", "100ms",
+			"-log-json", "-request-timeout", "10s", "-max-inflight", "256",
+			"-grace", "10s",
+		}, &stdout, &stderr)
+	}()
+
+	// The serving line prints before the world converges; extract the
+	// bound address from it.
+	deadline := time.Now().Add(2 * time.Minute)
+	var base string
+	for base == "" {
+		if m := servingLineRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before serving: %v\nstderr:\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line within deadline; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+	scrape := func() *obs.Exposition {
+		t.Helper()
+		code, body := get("/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		e, err := obs.ParseExposition(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v\n%s", err, body)
+		}
+		return e
+	}
+
+	// Liveness answers during the pre-load window and after.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("GET /healthz = %d, want 200", code)
+	}
+
+	// Poll until the ingester has swapped at least one churned snapshot
+	// in and readiness has flipped.
+	var e *obs.Exposition
+	for {
+		cur := scrape()
+		swaps, _ := cur.Value("hybridrel_live_snapshot_swaps_total")
+		ready, _ := get("/readyz")
+		if swaps >= 1 && ready == http.StatusOK {
+			e = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live swap within deadline (swaps=%v, readyz=%d)\nstderr:\n%s",
+				swaps, ready, stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Exercise a data endpoint so the serve series have a 2xx to show.
+	if code, _ := get("/v1/stats"); code != http.StatusOK {
+		t.Errorf("GET /v1/stats = %d, want 200", code)
+	}
+	e = scrape()
+
+	mustPositive := func(series string) {
+		t.Helper()
+		v, ok := e.Value(series)
+		if !ok || !(v > 0) {
+			t.Errorf("series %s = %v (present %v), want > 0", series, v, ok)
+		}
+	}
+	// Live-ingest tier.
+	mustPositive("hybridrel_live_updates_applied_total")
+	mustPositive("hybridrel_live_snapshot_swaps_total")
+	mustPositive("hybridrel_live_swap_duration_ns_count")
+	if _, ok := e.Value(`hybridrel_live_resolves_total{mode="incremental"}`); !ok {
+		t.Error("incremental resolve series missing")
+	}
+	// Serving tier.
+	mustPositive("hybridrel_snapshot_generation")
+	mustPositive("hybridrel_snapshot_loaded")
+	mustPositive(`hybridrel_http_requests_total{code="2xx",endpoint="/metrics"}`)
+	mustPositive(`hybridrel_http_requests_total{code="2xx",endpoint="/v1/stats"}`)
+	if v := e.Sum("hybridrel_http_request_duration_ns_count"); !(v > 0) {
+		t.Errorf("request duration histogram count sums to %v, want > 0", v)
+	}
+	// Process tier.
+	mustPositive("go_goroutines")
+	if typ := e.Types["hybridrel_http_request_duration_ns"]; typ != "histogram" {
+		t.Errorf("request duration TYPE = %q, want histogram", typ)
+	}
+
+	// Clean shutdown through the hooked base context; the drain path
+	// must exit without error.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+
+	// -log-json wrote one JSON object per request to stdout; every line
+	// must decode and carry the schema fields.
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no access-log lines on stdout")
+	}
+	for i, line := range lines {
+		var rec struct {
+			Time     string  `json:"time"`
+			Method   string  `json:"method"`
+			Path     string  `json:"path"`
+			Endpoint string  `json:"endpoint"`
+			Status   int     `json:"status"`
+			Bytes    int     `json:"bytes"`
+			Duration float64 `json:"duration_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line %d does not parse: %v\n%s", i+1, err, line)
+		}
+		if rec.Method == "" || rec.Path == "" || rec.Endpoint == "" || rec.Status == 0 {
+			t.Errorf("access log line %d missing fields: %s", i+1, line)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
+			t.Errorf("access log line %d bad timestamp %q: %v", i+1, rec.Time, err)
+		}
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/infer/locpref"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/snapshot"
@@ -199,6 +200,46 @@ type (
 func WithReload(fn func(context.Context) (*Snapshot, error)) ServerOption {
 	return serve.WithSource(fn)
 }
+
+// MetricsRegistry collects a process's metric series — counters,
+// gauges, and latency histograms — and renders them in the Prometheus
+// text exposition format. Use one registry per serving process;
+// registering the same series twice panics by design.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithServerMetrics instruments every endpoint (request and status
+// counters, in-flight gauges, latency histograms, snapshot-freshness
+// gauges) into reg and mounts GET /metrics on the server.
+func WithServerMetrics(reg *MetricsRegistry) ServerOption { return serve.WithMetrics(reg) }
+
+// WithAccessLog writes one JSON object per completed request to w.
+func WithAccessLog(w io.Writer) ServerOption { return serve.WithAccessLog(w) }
+
+// WithRequestTimeout bounds every data-plane request; a handler that
+// exceeds it yields 503 and a timeout-counter increment. Zero disables.
+func WithRequestTimeout(d time.Duration) ServerOption { return serve.WithRequestTimeout(d) }
+
+// WithReloadTimeout bounds snapshot reloads (POST /v1/reload, SIGHUP);
+// a loader that exceeds it yields 504 and the previous snapshot keeps
+// serving. Zero disables.
+func WithReloadTimeout(d time.Duration) ServerOption { return serve.WithReloadTimeout(d) }
+
+// WithMaxInflight sheds load: requests beyond n concurrently in flight
+// are answered 429 with Retry-After instead of queueing. Zero disables.
+func WithMaxInflight(n int) ServerOption { return serve.WithMaxInflight(n) }
+
+// PipelineMetrics counts ingest work — archives, parsed records, and
+// parse errors — as cumulative series in a metrics registry.
+type PipelineMetrics = pipeline.Metrics
+
+// NewPipelineMetrics registers the pipeline ingest series in reg.
+func NewPipelineMetrics(reg *MetricsRegistry) *PipelineMetrics { return pipeline.NewMetrics(reg) }
+
+// WithPipelineMetrics folds every RunPipeline ingest into m.
+func WithPipelineMetrics(m *PipelineMetrics) Option { return pipeline.WithMetrics(m) }
 
 // CaptureSnapshot extracts the queryable products of an analysis into
 // a snapshot, forcing every memoized derivation.

@@ -36,6 +36,7 @@ import (
 	"hybridrel/internal/gen"
 	"hybridrel/internal/live"
 	"hybridrel/internal/mrt"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/scenario"
 	"hybridrel/internal/serve"
@@ -63,6 +64,20 @@ const DedupTargetAllocRatio = 0.1
 // recompute of the same state. The allocation gate is permissive (the
 // win is wall-clock; both paths allocate little per op).
 const LiveTargetSpeedup = 5.0
+
+// ObsMaxSlowdown bounds the observability middleware's wall-clock
+// overhead on the hot read path: the fully instrumented server
+// (per-endpoint metrics, load shedder, request timeout) must serve
+// /v1/rel at no worse than 1.05× the bare server's ns/op. The
+// comparison expresses this as a target speedup of 1/ObsMaxSlowdown.
+// ObsMaxAllocRatio is the matching allocation bound: the timeout
+// plumbing (deadline context, timer, guarded writer) costs a handful
+// of small allocations per request on top of the request machinery
+// itself.
+const (
+	ObsMaxSlowdown   = 1.05
+	ObsMaxAllocRatio = 1.5
+)
 
 // Options configures a suite run.
 type Options struct {
@@ -387,6 +402,41 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		}
 	})
 
+	// Serving observability overhead: the same per-link lookup through
+	// the bare server vs one carrying the full production middleware
+	// stack (per-endpoint metrics, load shedder, request timeout). The
+	// access log is off — it is I/O-bound and belongs on a buffered
+	// writer, not in a hot-path gate. The pair bounds the instrumented
+	// path at ObsMaxSlowdown of the bare one.
+	links := make([]asrel.LinkKey, 0, 64)
+	a.D6.EachLink(func(k asrel.LinkKey, _ int) {
+		if len(links) < 64 {
+			links = append(links, k)
+		}
+	})
+	relURLs := make([]string, len(links))
+	for i, k := range links {
+		relURLs[i] = fmt.Sprintf("/v1/rel?a=%d&b=%d", k.Lo, k.Hi)
+	}
+	srvObs := serve.New(snap,
+		serve.WithMetrics(obs.NewRegistry()),
+		serve.WithMaxInflight(1<<20),
+		serve.WithRequestTimeout(time.Minute))
+	relBench := func(s *serve.Server) func() {
+		var cursor int
+		return func() {
+			url := relURLs[cursor%len(relURLs)]
+			cursor++
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("GET %s: %d", url, rec.Code))
+			}
+		}
+	}
+	add("serve/rel", relBench(srv))
+	add("serve/rel-instrumented", relBench(srvObs))
+
 	// Live incremental re-inference: converge a streaming applier on the
 	// same world, then flap a couple of v4 routes — withdraw and
 	// re-announce, keeping roughly 1% of the plane's links dirty — and
@@ -523,6 +573,9 @@ func compare(results []Result) []Comparison {
 		// Live re-inference: the full recompute is the baseline the
 		// dirty-set path must beat 5× on a small flap cycle.
 		{"live-infer", "infer/full", "infer/incremental", LiveTargetSpeedup, 1.0},
+		// Observability overhead: the instrumented serve path may cost
+		// at most ObsMaxSlowdown of the bare one ("speedup" ≥ 1/1.05).
+		{"serve-obs", "serve/rel", "serve/rel-instrumented", 1 / ObsMaxSlowdown, ObsMaxAllocRatio},
 	} {
 		base, okB := byName[pair.baseline]
 		flat, okF := byName[pair.interned]

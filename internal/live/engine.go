@@ -36,7 +36,7 @@ type planeEngine struct {
 
 	lp       *infer.VoteTable
 	lpTable  *asrel.Table
-	lpVotes  map[asrel.ASN][]lpVote          // last emitted votes per vantage
+	lpVotes  map[asrel.ASN][]lpVote           // last emitted votes per vantage
 	vantRecs map[asrel.ASN]map[int32]struct{} // eligible active records per vantage
 
 	dirtyComm map[asrel.LinkKey]struct{}

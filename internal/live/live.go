@@ -51,6 +51,9 @@ type Config struct {
 	// over total links) past which resolve falls back to a full
 	// recompute. Default 0.05.
 	DirtyThreshold float64
+	// Metrics, when non-nil, receives the live-tier instrumentation
+	// (NewMetrics); nil disables it.
+	Metrics *Metrics
 }
 
 func (c Config) threshold() float64 {
@@ -79,6 +82,8 @@ type Applier struct {
 
 	applied     int
 	withdrawals int
+
+	metrics *Metrics
 }
 
 // ribKey identifies one route: the prefix distinguishes the plane.
@@ -93,11 +98,12 @@ func NewApplier(cfg Config) *Applier {
 	d6 := dataset.NewLive(asrel.IPv6)
 	return &Applier{
 		D4: d4, D6: d6, Dict: cfg.Dict,
-		cfg: cfg,
-		e4:  newPlaneEngine(d4, cfg.Dict, cfg.LocPref),
-		e6:  newPlaneEngine(d6, cfg.Dict, cfg.LocPref),
-		rib: make(map[ribKey]int32),
-		opt: bgp.Options{ASN4: true},
+		cfg:     cfg,
+		e4:      newPlaneEngine(d4, cfg.Dict, cfg.LocPref),
+		e6:      newPlaneEngine(d6, cfg.Dict, cfg.LocPref),
+		rib:     make(map[ribKey]int32),
+		opt:     bgp.Options{ASN4: true},
+		metrics: cfg.Metrics,
 	}
 }
 
@@ -126,6 +132,7 @@ func (ap *Applier) Apply(ev Event) error {
 	if mp := u.Attrs.MPReach; mp != nil && mp.AFI == bgp.AFIIPv6 && mp.SAFI == bgp.SAFIUnicast && len(mp.NLRI) > 0 {
 		ap.announce(ap.D6, ap.e6, ev.Vantage, mp.NLRI, u)
 	}
+	ap.noteApply()
 	return nil
 }
 
@@ -146,6 +153,9 @@ func (ap *Applier) announce(d *dataset.Dataset, e *planeEngine, vantage asrel.AS
 		}
 		if activated {
 			e.activate(idx, d.RecObs(idx))
+		}
+		if ap.metrics != nil {
+			ap.metrics.Announced.Inc()
 		}
 		key := ribKey{vantage, pfx}
 		// Implicit withdraw: a re-announcement replaces the old route.
@@ -168,6 +178,9 @@ func (ap *Applier) withdraw(d *dataset.Dataset, e *planeEngine, vantage asrel.AS
 	}
 	delete(ap.rib, key)
 	ap.withdrawals++
+	if ap.metrics != nil {
+		ap.metrics.Withdrawn.Inc()
+	}
 	if d.Release(idx) {
 		e.deactivate(idx, d.RecObs(idx))
 	}
@@ -190,16 +203,20 @@ func (ap *Applier) Resolves() (incremental, full int) {
 // Resolve brings both planes' relationship tables up to date without
 // capturing a snapshot — exposed for benchmarks; Snapshot calls it.
 func (ap *Applier) Resolve() {
+	i0, f0 := ap.Resolves()
 	ap.e4.resolve(ap.cfg.threshold())
 	ap.e6.resolve(ap.cfg.threshold())
+	ap.noteResolves(i0, f0)
 }
 
 // Recompute forces the full-recompute path on both planes, regardless
 // of dirty state — the reference the incremental path is benchmarked
 // and tested against.
 func (ap *Applier) Recompute() {
+	i0, f0 := ap.Resolves()
 	ap.e4.recompute()
 	ap.e6.recompute()
+	ap.noteResolves(i0, f0)
 }
 
 // Snapshot resolves pending dirty state and captures the current
@@ -244,7 +261,7 @@ func (r *Runner) Run(ctx context.Context, events <-chan Event) error {
 			return nil
 		}
 		pending = 0
-		return r.Swap(r.Applier.Snapshot())
+		return r.swap()
 	}
 	for {
 		select {
@@ -274,6 +291,17 @@ func (r *Runner) Run(ctx context.Context, events <-chan Event) error {
 	}
 }
 
+// swap captures a snapshot, installs it, and records the capture+
+// install latency — the freshness cost a reader pays for live data.
+func (r *Runner) swap() error {
+	start := time.Now()
+	err := r.Swap(r.Applier.Snapshot())
+	if err == nil {
+		r.Applier.noteSwap(start)
+	}
+	return err
+}
+
 // drain applies whatever the feed already buffered, then swaps one
 // final snapshot so shutdown never discards applied-but-unserved work.
 func (r *Runner) drain(events <-chan Event, pending int) error {
@@ -284,7 +312,7 @@ func (r *Runner) drain(events <-chan Event, pending int) error {
 				if pending == 0 {
 					return nil
 				}
-				return r.Swap(r.Applier.Snapshot())
+				return r.swap()
 			}
 			if err := r.Applier.Apply(ev); err != nil {
 				return err
@@ -294,7 +322,7 @@ func (r *Runner) drain(events <-chan Event, pending int) error {
 			if pending == 0 {
 				return nil
 			}
-			return r.Swap(r.Applier.Snapshot())
+			return r.swap()
 		}
 	}
 }

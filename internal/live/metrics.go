@@ -1,0 +1,81 @@
+package live
+
+// Live-tier instrumentation. The Applier is single-writer, so every
+// mutable-state observation (dirty-set size, resolve tallies) is
+// pushed from the applier goroutine into atomic instruments rather
+// than pulled by scrape-time closures — the scraper only ever reads
+// atomics, never the engines' maps.
+
+import (
+	"time"
+
+	"hybridrel/internal/obs"
+)
+
+// Metrics is the live subsystem's instrument set. Construct with
+// NewMetrics and hand it to the Applier via Config.Metrics; a nil
+// Metrics disables instrumentation at zero cost.
+type Metrics struct {
+	Applied   *obs.Counter // UPDATE messages applied
+	Announced *obs.Counter // routes announced (retained into the live tables)
+	Withdrawn *obs.Counter // routes withdrawn (explicit withdrawals)
+	DirtyWork *obs.Gauge   // current dirty links+vantages across both planes
+
+	ResolvesIncremental *obs.Counter
+	ResolvesFull        *obs.Counter
+
+	Swaps        *obs.Counter   // snapshots captured and installed
+	SwapDuration *obs.Histogram // capture+install latency, nanoseconds
+}
+
+// NewMetrics registers the live instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Applied: reg.Counter("hybridrel_live_updates_applied_total",
+			"BGP UPDATE messages applied to the live tables.", nil),
+		Announced: reg.Counter("hybridrel_live_routes_announced_total",
+			"Routes announced into the live tables.", nil),
+		Withdrawn: reg.Counter("hybridrel_live_routes_withdrawn_total",
+			"Routes withdrawn from the live tables.", nil),
+		DirtyWork: reg.Gauge("hybridrel_live_dirty_work",
+			"Pending dirty links+vantages awaiting re-inference, both planes.", nil),
+		ResolvesIncremental: reg.Counter("hybridrel_live_resolves_total",
+			"Re-inference passes, by strategy.", obs.Labels{"mode": "incremental"}),
+		ResolvesFull: reg.Counter("hybridrel_live_resolves_total",
+			"Re-inference passes, by strategy.", obs.Labels{"mode": "full"}),
+		Swaps: reg.Counter("hybridrel_live_snapshot_swaps_total",
+			"Snapshots captured and hot-swapped into serving.", nil),
+		SwapDuration: reg.Histogram("hybridrel_live_swap_duration_ns",
+			"Snapshot capture+install latency in nanoseconds.", nil),
+	}
+}
+
+// noteApply records one applied UPDATE and the post-apply dirty size.
+func (ap *Applier) noteApply() {
+	if m := ap.metrics; m != nil {
+		m.Applied.Inc()
+		m.DirtyWork.Set(float64(ap.e4.dirty() + ap.e6.dirty()))
+	}
+}
+
+// noteResolves folds the engines' resolve tallies accumulated since
+// the (incremental, full) baseline into the counters and re-reads the
+// now-drained dirty set.
+func (ap *Applier) noteResolves(i0, f0 int) {
+	m := ap.metrics
+	if m == nil {
+		return
+	}
+	i1, f1 := ap.Resolves()
+	m.ResolvesIncremental.Add(uint64(i1 - i0))
+	m.ResolvesFull.Add(uint64(f1 - f0))
+	m.DirtyWork.Set(float64(ap.e4.dirty() + ap.e6.dirty()))
+}
+
+// noteSwap records one completed snapshot capture+install.
+func (ap *Applier) noteSwap(start time.Time) {
+	if m := ap.metrics; m != nil {
+		m.Swaps.Inc()
+		m.SwapDuration.Observe(time.Since(start).Nanoseconds())
+	}
+}

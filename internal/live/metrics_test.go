@@ -1,0 +1,104 @@
+package live_test
+
+// The live instrument set must agree exactly with the subsystem's own
+// introspection counters, and the rendered exposition must carry every
+// series with the values the Applier/Runner reported.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hybridrel/internal/live"
+	"hybridrel/internal/obs"
+	"hybridrel/internal/snapshot"
+
+	"hybridrel/internal/bgpsim"
+)
+
+func TestLiveMetricsMatchIntrospection(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(1337))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 5, ChurnEvents: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m := live.NewMetrics(reg)
+	ap := live.NewApplier(live.Config{Dict: dict, Metrics: m})
+
+	swaps := 0
+	r := &live.Runner{
+		Applier: ap,
+		Swap:    func(*snapshot.Snapshot) error { swaps++; return nil },
+		Every:   250,
+	}
+	events := make(chan live.Event, len(feed.Events))
+	for _, ev := range feed.Events {
+		events <- live.Event{Vantage: ev.Vantage, Data: ev.Data}
+	}
+	close(events)
+	if err := r.Run(context.Background(), events); err != nil {
+		t.Fatal(err)
+	}
+	if swaps == 0 {
+		t.Fatal("runner performed no swaps")
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("live exposition does not parse: %v\n%s", err, b.String())
+	}
+	val := func(series string) float64 {
+		t.Helper()
+		v, ok := exp.Value(series)
+		if !ok {
+			t.Fatalf("series %s missing:\n%s", series, b.String())
+		}
+		return v
+	}
+
+	applied, withdrawals := ap.Applied()
+	if got := val("hybridrel_live_updates_applied_total"); got != float64(applied) {
+		t.Errorf("applied counter %v, introspection says %d", got, applied)
+	}
+	if applied != len(feed.Events) {
+		t.Errorf("applied %d, want %d events", applied, len(feed.Events))
+	}
+	if got := val("hybridrel_live_routes_withdrawn_total"); got != float64(withdrawals) {
+		t.Errorf("withdrawn counter %v, introspection says %d", got, withdrawals)
+	}
+	if withdrawals == 0 {
+		t.Error("feed carried no withdrawals; the test world is too quiet")
+	}
+	if got := val("hybridrel_live_routes_announced_total"); got <= 0 {
+		t.Errorf("announced counter %v, want > 0", got)
+	}
+	incr, full := ap.Resolves()
+	if got := val(`hybridrel_live_resolves_total{mode="incremental"}`); got != float64(incr) {
+		t.Errorf("incremental resolves %v, introspection says %d", got, incr)
+	}
+	if got := val(`hybridrel_live_resolves_total{mode="full"}`); got != float64(full) {
+		t.Errorf("full recomputes %v, introspection says %d", got, full)
+	}
+	if incr+full == 0 {
+		t.Error("no resolves recorded at all")
+	}
+	if got := val("hybridrel_live_snapshot_swaps_total"); got != float64(swaps) {
+		t.Errorf("swap counter %v, runner says %d", got, swaps)
+	}
+	if got := val("hybridrel_live_swap_duration_ns_count"); got != float64(swaps) {
+		t.Errorf("swap histogram count %v, want %d", got, swaps)
+	}
+	if got := exp.Sum("hybridrel_live_swap_duration_ns_sum"); got <= 0 {
+		t.Errorf("swap latency sum %v, want > 0", got)
+	}
+	// Every snapshot resolves the dirty set, so it reads 0 at rest.
+	if got := val("hybridrel_live_dirty_work"); got != 0 {
+		t.Errorf("dirty gauge %v at rest, want 0", got)
+	}
+}

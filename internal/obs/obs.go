@@ -1,0 +1,127 @@
+// Package obs is the dependency-free observability core: atomic
+// counters and gauges, fixed-bucket latency histograms with power-of-
+// two nanosecond buckets and a lock-free Observe, a registry grouping
+// them into metric families, and a Prometheus text-exposition HTTP
+// handler.
+//
+// The package is deliberately tiny and self-contained — no client
+// libraries, no reflection, no background goroutines — because the
+// instruments sit on the serving hot path: Observe and Inc are a
+// handful of atomic adds, and everything allocation-heavy (label
+// rendering, family sorting) happens once at registration or at scrape
+// time, never per request.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramBuckets is the number of finite histogram buckets. Bucket i
+// has the inclusive upper bound 2^i−1 nanoseconds (so bucket 0 holds
+// only zero observations, bucket 1 holds 1 ns, bucket 11 holds up to
+// ~1 µs, bucket 31 up to ~2.1 s); everything past the last finite
+// bound lands in the implicit +Inf bucket.
+const HistogramBuckets = 36
+
+// Histogram is a fixed-bucket latency histogram over power-of-two
+// nanosecond boundaries. Observe is lock-free: one bits.Len64 plus two
+// atomic adds (bucket and sum), no allocation, no branches over a
+// bucket search. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Uint64
+	inf     atomic.Uint64 // observations past the last finite bound
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total observed nanoseconds
+}
+
+// bucketOf maps an observation to the smallest bucket whose upper
+// bound 2^i−1 contains it: the bit length of the value.
+func bucketOf(ns uint64) int { return bits.Len64(ns) }
+
+// Observe records one latency. Negative durations clamp to zero.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if i := bucketOf(v); i < HistogramBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed values, in nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// snapshot reads a consistent-enough view for exposition: cumulative
+// bucket counts (le = 2^i−1), the +Inf total, and the sum. Scrapes
+// racing Observe may see a bucket increment before the count — the
+// usual Prometheus tolerance for lock-free histograms.
+func (h *Histogram) snapshot() (cum [HistogramBuckets]uint64, total, sum uint64) {
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	total = running + h.inf.Load()
+	sum = h.sum.Load()
+	return cum, total, sum
+}
+
+// BucketBound returns the inclusive upper bound of finite bucket i in
+// nanoseconds: 2^i − 1.
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}

@@ -1,0 +1,278 @@
+package obs
+
+// Unit tests for the observability core: instrument arithmetic,
+// histogram bucketing at the power-of-two boundaries, exposition
+// rendering round-tripped through the strict parser, registration
+// conflict panics, and a -race hammer over every lock-free instrument.
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.25)
+	g.Add(-0.75)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// bucketOf(v) = bits.Len64: bucket i holds [2^(i-1), 2^i - 1], so
+	// the inclusive upper bound of bucket i is 2^i - 1 = BucketBound(i).
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 20, 21}, {-5, 0},
+	}
+	var h Histogram
+	for _, tc := range cases {
+		v := tc.v
+		if v < 0 {
+			v = 0
+		}
+		if got := bucketOf(uint64(v)); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+		h.Observe(tc.v)
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	// Every bucket's bound must contain the values routed to it.
+	for i := 1; i < HistogramBuckets; i++ {
+		lo, hi := BucketBound(i-1)+1, BucketBound(i)
+		if bucketOf(lo) != i || bucketOf(hi) != i {
+			t.Errorf("bucket %d: bounds [%d,%d] misrouted (%d, %d)",
+				i, lo, hi, bucketOf(lo), bucketOf(hi))
+		}
+	}
+}
+
+func TestHistogramOverflowGoesToInf(t *testing.T) {
+	var h Histogram
+	huge := int64(1) << 40 // past the last finite bound (2^36 - 1 ns)
+	h.Observe(huge)
+	cum, total, sum := h.snapshot()
+	if cum[HistogramBuckets-1] != 0 {
+		t.Error("overflow observation landed in a finite bucket")
+	}
+	if total != 1 || sum != uint64(huge) {
+		t.Errorf("total %d sum %d, want 1 and %d", total, sum, huge)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests.", Labels{"endpoint": "/v1/rel", "code": "2xx"})
+	c.Add(7)
+	c2 := reg.Counter("test_requests_total", "Requests.", Labels{"endpoint": "/v1/rel", "code": "5xx"})
+	c2.Add(1)
+	g := reg.Gauge("test_inflight", "In flight.", nil)
+	g.Set(3)
+	reg.GaugeFunc("test_age_seconds", "Age.", nil, func() float64 { return 12.5 })
+	h := reg.Histogram("test_latency_ns", "Latency.", Labels{"endpoint": "/v1/rel"})
+	h.Observe(5)       // bucket 3 (le 7)
+	h.Observe(1000)    // bucket 10 (le 1023)
+	h.Observe(1 << 50) // +Inf
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	exp, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, text)
+	}
+
+	for series, want := range map[string]float64{
+		`test_requests_total{code="2xx",endpoint="/v1/rel"}`: 7,
+		`test_requests_total{code="5xx",endpoint="/v1/rel"}`: 1,
+		`test_inflight`:    3,
+		`test_age_seconds`: 12.5,
+		`test_latency_ns_count{endpoint="/v1/rel"}`:            3,
+		`test_latency_ns_sum{endpoint="/v1/rel"}`:              5 + 1000 + float64(uint64(1)<<50),
+		`test_latency_ns_bucket{endpoint="/v1/rel",le="7"}`:    1,
+		`test_latency_ns_bucket{endpoint="/v1/rel",le="1023"}`: 2,
+		`test_latency_ns_bucket{endpoint="/v1/rel",le="+Inf"}`: 3,
+	} {
+		got, ok := exp.Value(series)
+		if !ok {
+			t.Errorf("series %s missing from exposition", series)
+			continue
+		}
+		if got != want {
+			t.Errorf("series %s = %v, want %v", series, got, want)
+		}
+	}
+	for fam, typ := range map[string]string{
+		"test_requests_total": "counter",
+		"test_inflight":       "gauge",
+		"test_latency_ns":     "histogram",
+	} {
+		if exp.Types[fam] != typ {
+			t.Errorf("family %s declared %q, want %q", fam, exp.Types[fam], typ)
+		}
+	}
+	if got := exp.Sum("test_requests_total{"); got != 8 {
+		t.Errorf("Sum over request counters = %v, want 8", got)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_ticks_total", "Ticks.", nil).Add(3)
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	exp, err := ParseExposition(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exp.Value("test_ticks_total"); v != 3 {
+		t.Errorf("ticks = %v, want 3", v)
+	}
+}
+
+func TestRegistrationConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("dup", "x.", nil)
+	mustPanic("duplicate series", func() { reg.Counter("dup", "x.", nil) })
+	mustPanic("type conflict", func() { reg.Gauge("dup", "x.", Labels{"a": "b"}) })
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"name_without_value",
+		`metric{unterminated="x 1`,
+		`metric{key=unquoted} 1`,
+		"metric not-a-number",
+		"1leading_digit 3",
+		"dup 1\ndup 2",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsed garbage %q", bad)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "x.", Labels{"path": `a"b\c`}).Inc()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("escaped labels do not re-parse: %v\n%s", err, b.String())
+	}
+}
+
+// TestConcurrentInstruments hammers every lock-free instrument from
+// many goroutines while a scraper renders the page — meaningful under
+// -race, and it pins the final counts.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("cc_total", "x.", nil)
+	g := reg.Gauge("cg", "x.", nil)
+	h := reg.Histogram("ch_ns", "x.", nil)
+
+	const workers = 8
+	const perWorker = 2000
+	var wg, scraperWg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperWg.Add(1)
+	go func() { // scraper
+		defer scraperWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+				t.Errorf("mid-load exposition invalid: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(i))
+			}
+		}(int64(w * 100))
+	}
+	wg.Wait()
+	close(stop)
+	scraperWg.Wait()
+
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("go_goroutines"); !ok || v < 1 {
+		t.Errorf("go_goroutines = %v (present %v)", v, ok)
+	}
+	if math.IsNaN(exp.Sum("go_heap_alloc_bytes")) {
+		t.Error("heap gauge NaN")
+	}
+}

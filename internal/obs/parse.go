@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed text-exposition page: every sample keyed by
+// its full series name (metric name plus rendered labels), and the
+// declared type of every metric family.
+type Exposition struct {
+	// Samples maps `name{labels}` (labels in the order they appeared)
+	// to the sample value.
+	Samples map[string]float64
+	// Types maps family name to the declared TYPE.
+	Types map[string]string
+}
+
+// Value returns the sample for the exact series string, and whether it
+// was present.
+func (e *Exposition) Value(series string) (float64, bool) {
+	v, ok := e.Samples[series]
+	return v, ok
+}
+
+// Sum adds up every sample whose series name starts with prefix —
+// handy for "total requests across all endpoints" assertions.
+func (e *Exposition) Sum(prefix string) float64 {
+	var total float64
+	for name, v := range e.Samples {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// ParseExposition parses a Prometheus text-exposition page strictly
+// enough to catch malformed output: every non-comment line must be
+// `name[{labels}] value`, label bodies must be balanced key="value"
+// pairs, values must parse as floats, and duplicate series are an
+// error. It exists so tests and the CI scrape step can assert "the
+// exposition parses" without a Prometheus dependency.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Samples: make(map[string]float64),
+		Types:   make(map[string]string),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		series, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if _, dup := exp.Samples[series]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %s", lineNo, series)
+		}
+		exp.Samples[series] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseSample splits one sample line into its series name and value.
+func parseSample(line string) (string, float64, error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < i {
+			return "", 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if !validName(line[:i]) {
+			return "", 0, fmt.Errorf("bad metric name %q", line[:i])
+		}
+		if err := checkLabels(line[i+1 : close]); err != nil {
+			return "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest := strings.TrimSpace(line[close+1:])
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad value %q", rest)
+		}
+		return line[:close+1], v, nil
+	}
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return "", 0, fmt.Errorf("no value in %q", line)
+	}
+	name := line[:sp]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp:]), 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q", line)
+	}
+	return name, v, nil
+}
+
+// checkLabels validates a label body: comma-separated key="value"
+// pairs with balanced quotes.
+func checkLabels(body string) error {
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 || !validName(rest[:eq]) {
+			return fmt.Errorf("bad label key")
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		// Find the closing unescaped quote.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value")
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			return nil
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("missing comma between labels")
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is one series' constant label set. Labels are fixed at
+// registration — per-request label churn is exactly the allocation
+// pattern this package exists to avoid; register one series per
+// (endpoint, class) pair instead.
+type Labels map[string]string
+
+// render formats a label set in sorted-key order, Prometheus style:
+// `{k1="v1",k2="v2"}`, or "" for an empty set.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderWith renders the label set with one extra pair appended (used
+// for histogram le labels).
+func renderWith(rendered, key, value string) string {
+	if rendered == "" {
+		return "{" + key + `="` + value + `"}`
+	}
+	return rendered[:len(rendered)-1] + "," + key + `="` + value + `"}`
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series is one registered time series within a family.
+type series struct {
+	labels string // rendered label set, "" when unlabeled
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Registration is synchronized; reads of the instruments
+// themselves are lock-free. The zero value is not usable — construct
+// with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds one series, creating its family on first use. A type
+// conflict on the name or a duplicate label set panics: both are
+// wiring bugs that would silently corrupt the exposition.
+func (r *Registry) register(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, have := range f.series {
+		if have.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", &series{labels: labels.render(), counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", &series{labels: labels.render(), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// fn must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", &series{labels: labels.render(), gaugeFn: fn})
+}
+
+// Histogram registers and returns a power-of-two-ns latency histogram.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, "histogram", &series{labels: labels.render(), hist: h})
+	return h
+}
+
+// WriteText renders the registry as Prometheus text exposition
+// (version 0.0.4): families in registration order, each with its HELP
+// and TYPE lines, histograms expanded into cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	for i, name := range r.order {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
+			case s.gaugeFn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gaugeFn()))
+			case s.hist != nil:
+				cum, total, sum := s.hist.snapshot()
+				for i, c := range cum {
+					// Skip leading all-zero buckets to keep the page
+					// readable; cumulative counts stay correct because
+					// everything before the first emitted bucket is zero.
+					if c == 0 && i < HistogramBuckets-1 {
+						continue
+					}
+					le := strconv.FormatUint(BucketBound(i), 10)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderWith(s.labels, "le", le), c)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderWith(s.labels, "le", "+Inf"), total)
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, s.labels, sum)
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, total)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the /metrics endpoint: the registry rendered as text
+// exposition on every GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// RegisterProcessMetrics adds the basic Go runtime gauges every
+// long-lived process should export.
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

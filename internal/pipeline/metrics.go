@@ -1,0 +1,56 @@
+package pipeline
+
+// Batch-ingest instrumentation: archive, record and drop tallies per
+// ingest run, read off the datasets' own counters after the merge so
+// the hot decode path is untouched.
+
+import (
+	"hybridrel/internal/obs"
+)
+
+// Metrics is the batch pipeline's instrument set. Construct with
+// NewMetrics and install with WithMetrics; nil disables it.
+type Metrics struct {
+	Archives    *obs.Counter // MRT archives ingested
+	Records     *obs.Counter // raw path observations ingested, both planes
+	ParseErrors *obs.Counter // observations dropped (AS_SET paths, loops)
+}
+
+// NewMetrics registers the pipeline instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Archives: reg.Counter("hybridrel_pipeline_archives_total",
+			"MRT archives ingested across all runs.", nil),
+		Records: reg.Counter("hybridrel_pipeline_records_total",
+			"Raw path observations ingested, both planes.", nil),
+		ParseErrors: reg.Counter("hybridrel_pipeline_parse_errors_total",
+			"Observations dropped during ingest (AS_SET paths, AS-path loops).", nil),
+	}
+}
+
+// WithMetrics installs the ingest instrument set.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}
+
+// recordIngest folds one completed ingest run into the counters. The
+// datasets already tally observations and drops through the shared
+// accumulator arithmetic, so this is a read, not extra bookkeeping.
+func (p *Pipeline) recordIngest(in Sources, res *Result) {
+	m := p.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Archives.Add(uint64(len(in.MRT4) + len(in.MRT6)))
+	var records, dropped int
+	for _, d := range []interface {
+		NumObservations() int
+		Dropped() (int, int)
+	}{res.D4, res.D6} {
+		records += d.NumObservations()
+		sets, loops := d.Dropped()
+		dropped += sets + loops
+	}
+	m.Records.Add(uint64(records))
+	m.ParseErrors.Add(uint64(dropped))
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+// Ingest metrics must agree with the datasets' own tallies, and must
+// agree with themselves across the parallel and sequential paths.
+
+import (
+	"context"
+	"testing"
+
+	"hybridrel/internal/gen"
+	"hybridrel/internal/obs"
+	"hybridrel/internal/testutil"
+)
+
+func TestIngestMetrics(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.Seed = 42
+	cfg.NumASes = 80
+	cfg.NumTier1 = 3
+	cfg.NumVantages = 6
+	in, err := gen.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := testutil.Collect(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Sources{IRR: Bytes("irr", arch.IRR)}
+	for _, b := range arch.MRT4 {
+		src.MRT4 = append(src.MRT4, Bytes("mrt4", b))
+	}
+	for _, b := range arch.MRT6 {
+		src.MRT6 = append(src.MRT6, Bytes("mrt6", b))
+	}
+	wantArchives := uint64(len(src.MRT4) + len(src.MRT6))
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	var prevRecords uint64
+	for _, parallelism := range []int{4, 1} { // both ingest paths
+		a0, r0, e0 := m.Archives.Value(), m.Records.Value(), m.ParseErrors.Value()
+		res, err := New(WithMetrics(m), WithParallelism(parallelism)).
+			Ingest(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Archives.Value() - a0; got != wantArchives {
+			t.Errorf("parallelism %d: archives delta %d, want %d", parallelism, got, wantArchives)
+		}
+		wantRecords := uint64(res.D4.NumObservations() + res.D6.NumObservations())
+		if wantRecords == 0 {
+			t.Fatalf("parallelism %d: ingest produced no observations", parallelism)
+		}
+		if got := m.Records.Value() - r0; got != wantRecords {
+			t.Errorf("parallelism %d: records delta %d, dataset tallies say %d",
+				parallelism, got, wantRecords)
+		}
+		s4, l4 := res.D4.Dropped()
+		s6, l6 := res.D6.Dropped()
+		if got := m.ParseErrors.Value() - e0; got != uint64(s4+l4+s6+l6) {
+			t.Errorf("parallelism %d: parse-error delta %d, dataset tallies say %d",
+				parallelism, got, s4+l4+s6+l6)
+		}
+		// Both paths ingest the identical byte set, so record deltas match.
+		if prevRecords != 0 && wantRecords != prevRecords {
+			t.Errorf("record count differs across paths: %d vs %d", wantRecords, prevRecords)
+		}
+		prevRecords = wantRecords
+	}
+}

@@ -84,6 +84,8 @@ type Config struct {
 	Parallelism int
 	// Progress, when set, observes stage completion events.
 	Progress ProgressFunc
+	// Metrics, when set, receives ingest tallies (WithMetrics).
+	Metrics *Metrics
 }
 
 // Option customizes a pipeline, functional-options style.
@@ -310,6 +312,7 @@ func (p *Pipeline) Ingest(ctx context.Context, in Sources) (*Result, error) {
 	if res.D6, err = mergeShards(asrel.IPv6, shards6); err != nil {
 		return nil, err
 	}
+	p.recordIngest(in, res)
 	return res, nil
 }
 
@@ -384,6 +387,7 @@ func (p *Pipeline) ingestSequential(ctx context.Context, in Sources) (*Result, e
 		res.Dict = dict
 		p.emit(&progressMu, StageIRR, Event{Item: in.IRR.Name(), Done: 1, Total: 1})
 	}
+	p.recordIngest(in, res)
 	return res, nil
 }
 

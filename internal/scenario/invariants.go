@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"time"
 
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/bgpsim"
@@ -15,6 +16,7 @@ import (
 	"hybridrel/internal/gen"
 	"hybridrel/internal/intern"
 	"hybridrel/internal/live"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/snapshot"
@@ -203,10 +205,18 @@ const relSampleLimit = 32
 // requires the HTTP responses to agree with the Analysis accessors:
 // /v1/stats against the headline statistics, /v1/hybrids against the
 // hybrid list, /v1/rel against the relationship tables, and /healthz
-// against the index sizes.
+// against the index sizes. The server runs with the full production
+// middleware stack enabled — metrics, request timeout, load shedder —
+// so the agreement invariant also proves the observability layer never
+// perturbs a response body, and the /metrics exposition must parse and
+// account for every probe the invariant made.
 func checkServe(a *core.Analysis) error {
 	snap := snapshot.Capture(a)
-	srv := serve.New(snap)
+	reg := obs.NewRegistry()
+	srv := serve.New(snap,
+		serve.WithMetrics(reg),
+		serve.WithRequestTimeout(time.Minute),
+		serve.WithMaxInflight(1<<20))
 
 	get := func(url string, out any) error {
 		req := httptest.NewRequest("GET", url, nil)
@@ -313,6 +323,25 @@ func checkServe(a *core.Analysis) error {
 			return err
 		}
 		probed++
+	}
+
+	// The middleware saw every request above; the exposition must parse
+	// and the per-endpoint counters must account for all of them.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", rec.Code)
+	}
+	exp, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		return fmt.Errorf("/metrics exposition does not parse: %w", err)
+	}
+	if got, ok := exp.Value(`hybridrel_http_requests_total{code="2xx",endpoint="/v1/rel"}`); !ok || got == 0 {
+		return fmt.Errorf("/metrics rel counter %v (present %v) after %d probes", got, ok, probed)
+	}
+	if got, ok := exp.Value("hybridrel_snapshot_generation"); !ok || got < 1 {
+		return fmt.Errorf("/metrics snapshot generation %v (present %v)", got, ok)
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hybridrel/internal/obs"
+)
+
+func benchServerObs(b *testing.B, opts ...Option) {
+	_, snap, _ := fixtures(b)
+	srv := New(snap, opts...)
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatal(rec.Code)
+		}
+	}
+}
+
+func BenchmarkOverheadBare(b *testing.B)    { benchServerObs(b) }
+func BenchmarkOverheadMetrics(b *testing.B) { benchServerObs(b, WithMetrics(obs.NewRegistry())) }
+func BenchmarkOverheadShed(b *testing.B) {
+	benchServerObs(b, WithMetrics(obs.NewRegistry()), WithMaxInflight(1<<20))
+}
+func BenchmarkOverheadTimeout(b *testing.B) {
+	benchServerObs(b, WithMetrics(obs.NewRegistry()), WithRequestTimeout(time.Minute))
+}
+func BenchmarkOverheadFull(b *testing.B) {
+	benchServerObs(b, WithMetrics(obs.NewRegistry()), WithMaxInflight(1<<20), WithRequestTimeout(time.Minute))
+}

@@ -16,14 +16,25 @@
 //	GET  /v1/as/{asn}              adjacency, per-plane rels, hybrid links
 //	GET  /v1/hybrids               paginated hybrid list (?class=&offset=&limit=)
 //	GET  /v1/stats                 coverage / census / visibility / valley
-//	GET  /healthz                  liveness + snapshot summary
+//	GET  /healthz                  liveness (200 even before the first load)
+//	GET  /readyz                   readiness (503 until a snapshot is installed)
+//	GET  /metrics                  Prometheus text exposition (WithMetrics)
 //	POST /v1/reload                re-run the configured loader and swap
+//
+// Production concerns are opt-in per Option: WithMetrics instruments
+// every endpoint and serves /metrics, WithAccessLog emits one JSON
+// line per request, WithRequestTimeout bounds data-endpoint latency,
+// WithReloadTimeout bounds the loader, and WithMaxInflight sheds load
+// with 429s past a concurrency ceiling. A server constructed with none
+// of these serves through a zero-overhead fast path.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"slices"
 	"strconv"
@@ -34,6 +45,7 @@ import (
 	"hybridrel/internal/asrel"
 	"hybridrel/internal/core"
 	"hybridrel/internal/intern"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/snapshot"
 )
 
@@ -62,6 +74,15 @@ type Server struct {
 	// reloadMu serializes Reload so a slow, older load can never land
 	// after — and overwrite — a newer one.
 	reloadMu sync.Mutex
+
+	// Opt-in observability and admission control (see the Options).
+	obsReg        *obs.Registry
+	metrics       *serveMetrics
+	accessLog     *accessLogger
+	reqTimeout    time.Duration
+	reloadTimeout time.Duration
+	maxInflight   int64
+	inflight      atomic.Int64
 }
 
 // Option customizes a Server.
@@ -72,8 +93,53 @@ func WithSource(fn LoadFunc) Option {
 	return func(s *Server) { s.source = fn }
 }
 
-// New builds a server over snap (which must be non-nil) and installs
-// its routes.
+// WithMetrics registers the serving instruments — per-endpoint request
+// counters, in-flight gauges, latency histograms, admission-control
+// tallies, snapshot generation/age gauges — on reg and serves reg's
+// text exposition on GET /metrics. Each registry can back at most one
+// Server (registration panics on duplicate series).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.obsReg = reg }
+}
+
+// WithAccessLog emits one JSON object per request to w: method, path,
+// endpoint, status, bytes, duration, snapshot generation. Writes to w
+// are serialized by the server.
+func WithAccessLog(w io.Writer) Option {
+	return func(s *Server) {
+		if w != nil {
+			s.accessLog = newAccessLogger(w)
+		}
+	}
+}
+
+// WithRequestTimeout bounds data-endpoint requests: past d the client
+// gets a 503 (http.TimeoutHandler semantics) and the request context
+// is canceled. /healthz, /readyz and /metrics are exempt, as is
+// /v1/reload, which has its own WithReloadTimeout.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithReloadTimeout bounds Reload and POST /v1/reload: a loader still
+// running at d is abandoned (its context is canceled, its result
+// discarded) and the HTTP caller gets a 504. The serving snapshot is
+// untouched.
+func WithReloadTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reloadTimeout = d }
+}
+
+// WithMaxInflight caps concurrently served requests; past n the server
+// sheds with 429 + Retry-After instead of queueing. /healthz, /readyz
+// and /metrics are exempt so probes and scrapes still answer while the
+// server sheds. n <= 0 disables shedding.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = int64(n) }
+}
+
+// New builds a server and installs its routes. A nil snap starts the
+// server empty: /healthz answers, /readyz and the data endpoints
+// return 503 until the first Load or Reload installs a snapshot.
 func New(snap *snapshot.Snapshot, opts ...Option) *Server {
 	s := &Server{mux: http.NewServeMux()}
 	for _, o := range opts {
@@ -86,14 +152,104 @@ func New(snap *snapshot.Snapshot, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/hybrids", s.handleHybrids)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
-	s.Load(snap)
+	// Wrong-method requests get a JSON 405 with an Allow header (the
+	// method-specific patterns above are more specific, so they win for
+	// their method); everything unrouted gets a JSON 404.
+	for pattern, allow := range map[string]string{
+		"/v1/rel": "GET", "/v1/as/{asn}": "GET", "/v1/hybrids": "GET",
+		"/v1/stats": "GET", "/healthz": "GET", "/readyz": "GET",
+		"/v1/reload": "POST",
+	} {
+		s.mux.HandleFunc(pattern, methodNotAllowed(allow))
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
+	if s.obsReg != nil {
+		s.metrics = newServeMetrics(s.obsReg, s)
+		s.mux.Handle("GET /metrics", s.obsReg.Handler())
+		s.mux.HandleFunc("/metrics", methodNotAllowed("GET"))
+	}
+	if snap != nil {
+		s.Load(snap)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			"method %s not allowed on %s; use %s", r.Method, r.URL.Path, allow)
+	}
+}
+
+// ServeHTTP implements http.Handler. With no observability options
+// configured it is a direct mux dispatch; otherwise requests flow
+// through the admission-control and instrumentation pipeline:
+// classify endpoint → shed past the in-flight ceiling → serve under
+// the request deadline → record status class, latency and access log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.metrics == nil && s.accessLog == nil && s.maxInflight == 0 && s.reqTimeout == 0 {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+
+	ep := endpointOf(r.URL.Path)
+	var inst *endpointInstruments
+	if s.metrics != nil {
+		inst = s.metrics.endpoint(ep)
+		inst.inflight.Add(1)
+		defer inst.inflight.Add(-1)
+	}
+
+	// Probes and scrapes must answer even when the server is shedding
+	// or requests are timing out — that is when they matter most.
+	exempt := ep == "/healthz" || ep == "/readyz" || ep == "/metrics"
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+
+	shed := false
+	if s.maxInflight > 0 && !exempt {
+		if n := s.inflight.Add(1); n > s.maxInflight {
+			s.inflight.Add(-1)
+			shed = true
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusTooManyRequests,
+				"over capacity: %d requests in flight", s.maxInflight)
+			if s.metrics != nil {
+				s.metrics.shed.Inc()
+			}
+		} else {
+			defer s.inflight.Add(-1)
+		}
+	}
+
+	if !shed {
+		if s.reqTimeout > 0 && !exempt && ep != "/v1/reload" {
+			tr := armTimedRequest(rec, s.metrics, r.Context(), s.reqTimeout)
+			s.mux.ServeHTTP(tr, r.WithContext(tr))
+			// release synchronizes with a concurrently firing timer, so
+			// the recorder reads below never race its 503 write.
+			tr.release()
+		} else {
+			s.mux.ServeHTTP(rec, r)
+		}
+	}
+
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	dur := time.Since(start)
+	if inst != nil {
+		inst.observe(status, dur)
+	}
+	if s.accessLog != nil {
+		s.accessLog.log(r, ep, status, rec.bytes, dur, s.generation.Load())
+	}
 }
 
 // Load indexes snap and atomically installs it. In-flight requests
@@ -107,27 +263,56 @@ func (s *Server) Load(snap *snapshot.Snapshot) {
 // Generation returns the number of snapshots installed so far.
 func (s *Server) Generation() uint64 { return s.generation.Load() }
 
-// Snapshot returns the currently installed snapshot.
+// Snapshot returns the currently installed snapshot, or nil if none
+// has been loaded yet.
 func (s *Server) Snapshot() *snapshot.Snapshot {
-	return s.state.Load().snap
+	if st := s.state.Load(); st != nil {
+		return st.snap
+	}
+	return nil
 }
 
 // Reload runs the configured source and installs its snapshot. It is
 // an error if no source was configured (WithSource). Reloads are
 // serialized, so a slow, older load can never land after — and
 // silently overwrite — a newer one; queries stay lock-free throughout.
+// With WithReloadTimeout set, a loader still running at the deadline
+// is abandoned — even one that ignores its context — and Reload
+// returns context.DeadlineExceeded; the serving snapshot is untouched.
 func (s *Server) Reload(ctx context.Context) error {
 	if s.source == nil {
 		return fmt.Errorf("serve: no reload source configured")
 	}
+	if s.reloadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reloadTimeout)
+		defer cancel()
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	snap, err := s.source(ctx)
-	if err != nil {
-		return fmt.Errorf("serve: reload: %w", err)
+	type result struct {
+		snap *snapshot.Snapshot
+		err  error
 	}
-	s.Load(snap)
-	return nil
+	// The loader runs on its own goroutine so a source that ignores
+	// context cancellation still cannot wedge the reload path; an
+	// abandoned loader's result lands in the buffered channel and is
+	// garbage-collected.
+	done := make(chan result, 1)
+	go func() {
+		snap, err := s.source(ctx)
+		done <- result{snap, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("serve: reload: %w", ctx.Err())
+	case res := <-done:
+		if res.err != nil {
+			return fmt.Errorf("serve: reload: %w", res.err)
+		}
+		s.Load(res.snap)
+		return nil
+	}
 }
 
 // state is one immutable indexed snapshot. Everything a handler needs
@@ -363,8 +548,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
+// loadedState returns the installed state, or answers 503 and returns
+// nil during the pre-load window (New with a nil snapshot).
+func (s *Server) loadedState(w http.ResponseWriter) *state {
 	st := s.state.Load()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
+	}
+	return st
+}
+
+func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
+	st := s.loadedState(w)
+	if st == nil {
+		return
+	}
 	q := r.URL.Query()
 	a, errA := ParseASN(q.Get("a"))
 	b, errB := ParseASN(q.Get("b"))
@@ -401,7 +599,10 @@ func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st := s.loadedState(w)
+	if st == nil {
+		return
+	}
 	asn, err := ParseASN(r.PathValue("asn"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -444,7 +645,10 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st := s.loadedState(w)
+	if st == nil {
+		return
+	}
 	q := r.URL.Query()
 
 	offset, limit := 0, DefaultLimit
@@ -504,7 +708,10 @@ func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st := s.loadedState(w)
+	if st == nil {
+		return
+	}
 	// The snapshot-derived body is precomputed at load time; only the
 	// freshness fields are stamped per request.
 	resp := st.stats
@@ -513,10 +720,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealth is the liveness probe: it answers 200 as soon as the
+// process serves HTTP, even before the first snapshot lands (Status
+// "alive" with zero counts). Readiness — "is there data to serve" —
+// is /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
+	if st == nil {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "alive"})
+		return
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
+		ASNs:     len(st.asns),
+		Links4:   len(st.snap.Links4),
+		Links6:   len(st.snap.Links6),
+		Hybrids:  len(st.snap.Hybrids),
+		LoadedAt: st.loadedAt.Format(time.RFC3339Nano),
+	})
+}
+
+// handleReady is the readiness probe: 503 until the first successful
+// Load installs a snapshot, 200 with the snapshot summary after.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ready",
 		ASNs:     len(st.asns),
 		Links4:   len(st.snap.Links4),
 		Links6:   len(st.snap.Links6),
@@ -531,7 +764,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Reload(r.Context()); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
 	st := s.state.Load()
