@@ -166,7 +166,7 @@ func TestRunScenariosJSON(t *testing.T) {
 		t.Fatalf("matrix reported %d scenarios, want >= 6", len(results))
 	}
 	for _, r := range results {
-		if len(r.Invariants) != 5 || !(&r).InvariantsOK() {
+		if len(r.Invariants) != 6 || !(&r).InvariantsOK() {
 			t.Errorf("%s: invariants %+v", r.Name, r.Invariants)
 		}
 		if len(r.Planes) != 2 {

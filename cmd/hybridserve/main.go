@@ -12,7 +12,19 @@
 //     routing table is converged once, then churned forever as a
 //     paced stream of UPDATE announcements and withdrawals through
 //     the internal/live ingester, with the re-inferred snapshot
-//     hot-swapped into the serving state on a cadence.
+//     hot-swapped into the serving state on a cadence;
+//   - real BGP4MP UPDATE archives (-live-mrt 'updates.*'): RIS /
+//     RouteViews update files replayed through the same live
+//     ingester in timestamp order, optionally with -irr for the
+//     community dictionary.
+//
+// With -history N the server keeps the last N installed snapshots and
+// answers ?at=<RFC3339|unix> time-travel queries on /v1/rel and
+// /v1/as/{asn}; every hot-swap also diffs consecutive snapshots onto
+// the GET /v1/changes relationship-change feed (journal bounded in
+// memory; no flag needed). Malformed events on a live stream are
+// counted (hybridrel_live_parse_errors_total) and dropped, never
+// fatal.
 //
 // The process hot-reloads without dropping a request: SIGHUP or POST
 // /v1/reload re-runs the loader (re-reads the snapshot file or re-runs
@@ -38,7 +50,8 @@
 //	hybridserve -irr irr.db -v4 ribs4/ -v6 ribs6/ [-addr :8080] [-parallel N]
 //	hybridserve -synth small [-addr :8080]
 //	hybridserve -live small [-addr :8080] [-live-rate 200] [-live-every 256] [-live-interval 2s]
-//	hybridserve ... [-log-json] [-request-timeout 30s] [-reload-timeout 5m] [-max-inflight 1024] [-pprof]
+//	hybridserve -live-mrt 'ris/updates.*' [-irr irr.db] [-live-rate 0] [-history 16]
+//	hybridserve ... [-history 16] [-log-json] [-request-timeout 30s] [-reload-timeout 5m] [-max-inflight 1024] [-pprof]
 package main
 
 import (
@@ -91,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		v6List     = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
 		synth      = fs.String("synth", "", "serve a synthetic world: small | default")
 		liveMode   = fs.String("live", "", "stream a live synthetic BGP feed: small | default")
+		liveMRT    = fs.String("live-mrt", "", "replay BGP4MP UPDATE archives matching this glob through the live ingester")
+		history    = fs.Int("history", 0, "keep the last N installed snapshots for ?at= time-travel queries (0 disables)")
 		liveRate   = fs.Int("live-rate", 200, "live mode: updates per second streamed into the ingester")
 		liveEvr    = fs.Int("live-every", 256, "live mode: hot-swap a snapshot after this many applied updates")
 		liveIvl    = fs.Duration("live-interval", 2*time.Second, "live mode: also hot-swap on this timer when updates arrived")
@@ -115,18 +130,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		serve.WithRequestTimeout(*reqTimeout),
 		serve.WithReloadTimeout(*relTimeout),
 		serve.WithMaxInflight(*maxInfl),
+		serve.WithHistory(*history),
 	}
 	if *logJSON {
 		serveOpts = append(serveOpts, serve.WithAccessLog(stdout))
 	}
 
 	if *liveMode != "" {
-		if *snapPath != "" || *irrPath != "" || *v4List != "" || *v6List != "" || *synth != "" {
+		if *snapPath != "" || *irrPath != "" || *v4List != "" || *v6List != "" || *synth != "" || *liveMRT != "" {
 			fmt.Fprintln(stderr, "hybridserve: -live cannot be combined with other source modes")
 			return cli.ErrUsage
 		}
 		return runLive(liveOptions{
 			scale:     *liveMode,
+			addr:      *addr,
+			rate:      *liveRate,
+			every:     *liveEvr,
+			interval:  *liveIvl,
+			grace:     *grace,
+			reg:       reg,
+			serveOpts: serveOpts,
+			pprof:     *pprofOn,
+		}, logger)
+	}
+
+	if *liveMRT != "" {
+		// -irr is allowed: it supplies the community dictionary the
+		// inference stage mines; everything else is a different source.
+		if *snapPath != "" || *v4List != "" || *v6List != "" || *synth != "" {
+			fmt.Fprintln(stderr, "hybridserve: -live-mrt cannot be combined with other source modes")
+			return cli.ErrUsage
+		}
+		return runLiveMRT(liveOptions{
+			glob:      *liveMRT,
+			irr:       *irrPath,
 			addr:      *addr,
 			rate:      *liveRate,
 			every:     *liveEvr,
@@ -222,9 +259,11 @@ func withPprof(h http.Handler, enabled bool) http.Handler {
 	return mux
 }
 
-// liveOptions bundles the -live mode configuration.
+// liveOptions bundles the -live and -live-mrt mode configuration.
 type liveOptions struct {
-	scale     string
+	scale     string // -live: synthetic world scale
+	glob      string // -live-mrt: archive glob
+	irr       string // -live-mrt: optional IRR database for the dictionary
 	addr      string
 	rate      int
 	every     int
@@ -286,8 +325,11 @@ func runLive(lo liveOptions, logger *log.Logger) error {
 		return err
 	}
 	ap := live.NewApplier(live.Config{
-		Dict:    community.FromIRR(objs),
-		Metrics: live.NewMetrics(lo.reg),
+		Dict: community.FromIRR(objs),
+		// Zero now means "always recompute in full"; the serving loop
+		// wants the incremental steady state, so say so explicitly.
+		DirtyThreshold: live.DefaultDirtyThreshold,
+		Metrics:        live.NewMetrics(lo.reg),
 	})
 
 	// Converge once synchronously so the server starts with a full
@@ -359,6 +401,7 @@ func runLive(lo liveOptions, logger *log.Logger) error {
 		},
 		Every:    lo.every,
 		Interval: lo.interval,
+		Log:      logger.Printf,
 	}
 	runnerDone := make(chan error, 1)
 	go func() { runnerDone <- runner.Run(ctx, events) }()
@@ -380,6 +423,133 @@ func runLive(lo liveOptions, logger *log.Logger) error {
 		shCtx, cancel := context.WithTimeout(context.Background(), lo.grace)
 		defer cancel()
 		return hs.Shutdown(shCtx)
+	}
+}
+
+// runLiveMRT is the -live-mrt mode: load BGP4MP UPDATE archives,
+// replay them through the streaming ingester in timestamp order at the
+// configured rate, and hot-swap re-inferred snapshots on the cadence.
+// When the replay is exhausted the final snapshot stays up and the
+// process keeps serving until a signal arrives — an archive replay is
+// a bounded stream, not an error.
+//
+// As in -live mode, the listener comes up before any data: /healthz
+// and /metrics answer while the archives load, and /readyz flips on
+// the first installed snapshot.
+func runLiveMRT(lo liveOptions, logger *log.Logger) error {
+	ctx, stop := signal.NotifyContext(baseContext(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(nil, lo.serveOpts...)
+	ln, err := net.Listen("tcp", lo.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving live on http://%s (loading MRT archives %q; /readyz flips after the first snapshot)",
+		ln.Addr(), lo.glob)
+	hs := &http.Server{Handler: withPprof(srv, lo.pprof)}
+	defer hs.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	start := time.Now()
+	feed, err := live.LoadMRTFeed(lo.glob)
+	if err != nil {
+		return err
+	}
+	var objs []rpsl.AutNum
+	if lo.irr != "" {
+		f, err := os.Open(lo.irr)
+		if err != nil {
+			return err
+		}
+		objs, _, err = rpsl.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	logger.Printf("loaded %d UPDATE events from %d archive(s) in %v (%d non-UPDATE records skipped)",
+		len(feed.Events), len(feed.Files), time.Since(start).Round(time.Millisecond), feed.Skipped)
+
+	ap := live.NewApplier(live.Config{
+		Dict:           community.FromIRR(objs),
+		DirtyThreshold: live.DefaultDirtyThreshold,
+		Metrics:        live.NewMetrics(lo.reg),
+	})
+
+	events := make(chan live.Event, 256)
+	go func() {
+		defer close(events)
+		var pace <-chan time.Time
+		if lo.rate > 0 {
+			t := time.NewTicker(time.Second / time.Duration(lo.rate))
+			defer t.Stop()
+			pace = t.C
+		}
+		for _, e := range feed.Events {
+			if pace != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-pace:
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case events <- e.Event:
+			}
+		}
+	}()
+
+	runner := &live.Runner{
+		Applier: ap,
+		Swap: func(s *snapshot.Snapshot) error {
+			srv.Load(s)
+			logger.Printf("hot-swapped snapshot generation %d: %d hybrids, %d IPv4 links, %d IPv6 links",
+				srv.Generation(), len(s.Hybrids), len(s.Links4), len(s.Links6))
+			return nil
+		},
+		Every:    lo.every,
+		Interval: lo.interval,
+		Log:      logger.Printf,
+	}
+	runnerDone := make(chan error, 1)
+	go func() { runnerDone <- runner.Run(ctx, events) }()
+
+	shutdown := func() error {
+		stop()
+		applied, withdrawals := ap.Applied()
+		logger.Printf("drained: %d updates applied (%d withdrawals), final generation %d",
+			applied, withdrawals, srv.Generation())
+		logger.Printf("shutting down (in-flight requests get %v)...", lo.grace)
+		shCtx, cancel := context.WithTimeout(context.Background(), lo.grace)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	}
+
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case err := <-runnerDone:
+			if err != nil {
+				logger.Printf("live ingest ended with: %v", err)
+			} else {
+				applied, withdrawals := ap.Applied()
+				logger.Printf("replay complete: %d updates applied (%d withdrawals), final generation %d; serving until interrupted",
+					applied, withdrawals, srv.Generation())
+			}
+			runnerDone = nil // keep serving; wait for errc or signal
+		case <-ctx.Done():
+			if runnerDone != nil {
+				if err := <-runnerDone; err != nil {
+					logger.Printf("live ingest ended with: %v", err)
+				}
+			}
+			return shutdown()
+		}
 	}
 }
 

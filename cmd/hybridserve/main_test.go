@@ -10,16 +10,28 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/cli"
+	"hybridrel/internal/community"
+	"hybridrel/internal/gen"
+	"hybridrel/internal/live"
+	"hybridrel/internal/mrt"
 	"hybridrel/internal/obs"
+	"hybridrel/internal/rpsl"
+	"hybridrel/internal/serve"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -269,5 +281,270 @@ func TestLiveMetricsEndToEnd(t *testing.T) {
 		if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
 			t.Errorf("access log line %d bad timestamp %q: %v", i+1, rec.Time, err)
 		}
+	}
+}
+
+// TestLiveMRTChangesEndToEnd boots -live-mrt against real BGP4MP
+// UPDATE archives written from a synthetic feed, with -history and an
+// IRR dictionary, and checks the full change-feed contract over TCP:
+// the replayed world's /healthz matches a local applier fed the same
+// events, /v1/changes reads deterministically (full vs paged, repeated
+// reads byte-identical once the replay quiesces), ?at= time travel is
+// enabled, and the change counters show on /metrics.
+func TestLiveMRTChangesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full live world")
+	}
+	in, err := gen.Build(gen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 31, ChurnEvents: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write the feed as two BGP4MP archives with strictly increasing
+	// timestamps, so the loader's timestamp merge reproduces feed order
+	// exactly and the replay is deterministic end to end.
+	dir := t.TempDir()
+	base := time.Unix(1_700_000_000, 0).UTC()
+	half := len(feed.Events) / 2
+	writeUpdates := func(name string, events []bgpsim.FeedEvent, off int) {
+		t.Helper()
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := mrt.NewWriter(f)
+		for i, ev := range events {
+			err := w.WriteBGP4MP(base.Add(time.Duration(off+i)*time.Second), &mrt.BGP4MPMessage{
+				PeerAS:    ev.Vantage,
+				LocalAS:   64500,
+				PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+				LocalAddr: netip.MustParseAddr("192.0.2.2"),
+				AS4:       true,
+				Data:      ev.Data,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeUpdates("updates.0000.mrt", feed.Events[:half], 0)
+	writeUpdates("updates.0001.mrt", feed.Events[half:], half)
+	irrPath := filepath.Join(dir, "irr.db")
+	irrFile, err := os.Create(irrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteIRR(irrFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := irrFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The expected end state: a local applier over the same events with
+	// the same dictionary. The server's final snapshot must agree.
+	irrf, err := os.Open(irrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, _, err := rpsl.Parse(irrf)
+	irrf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := live.NewApplier(live.Config{
+		Dict:           community.FromIRR(objs),
+		DirtyThreshold: live.DefaultDirtyThreshold,
+	})
+	for _, ev := range feed.Events {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ap.Snapshot()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := baseContext
+	baseContext = func() context.Context { return ctx }
+	defer func() { baseContext = orig }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-live-mrt", filepath.Join(dir, "updates.*.mrt"), "-irr", irrPath,
+			"-addr", "127.0.0.1:0", "-history", "8",
+			"-live-rate", "0", "-live-every", "64", "-grace", "10s",
+		}, &stdout, &stderr)
+	}()
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var baseURL string
+	for baseURL == "" {
+		if m := servingLineRE.FindStringSubmatch(stderr.String()); m != nil {
+			baseURL = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before serving: %v\nstderr:\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line within deadline; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// An archive replay is bounded: wait until it has fully drained and
+	// the journal is static.
+	for !strings.Contains(stderr.String(), "replay complete") {
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before the replay completed: %v\nstderr:\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replay did not complete within deadline; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(baseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// The served world is the locally-replayed one.
+	code, body := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var health serve.HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz does not parse: %v\n%s", err, body)
+	}
+	if health.Links4 != len(want.Links4) || health.Links6 != len(want.Links6) ||
+		health.Hybrids != len(want.Hybrids) {
+		t.Errorf("served world (%d/%d links, %d hybrids) differs from the local replay (%d/%d links, %d hybrids)",
+			health.Links4, health.Links6, health.Hybrids,
+			len(want.Links4), len(want.Links6), len(want.Hybrids))
+	}
+
+	// The change feed: a static journal reads byte-identically twice,
+	// and whole-batch pagination concatenates to the full read.
+	readFull := func() ([]byte, serve.ChangesResponse) {
+		t.Helper()
+		code, body := get(fmt.Sprintf("/v1/changes?limit=%d", serve.MaxChangeLimit))
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/changes = %d", code)
+		}
+		var resp serve.ChangesResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("changes response does not parse: %v\n%s", err, body)
+		}
+		return body, resp
+	}
+	raw1, full := readFull()
+	raw2, _ := readFull()
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("two reads of the quiesced change feed differ")
+	}
+	if full.HasMore {
+		t.Errorf("full read still has more: %+v", full)
+	}
+	events := 0
+	prevGen := uint64(0)
+	for _, b := range full.Batches {
+		if b.Generation <= prevGen {
+			t.Errorf("batch generations not strictly ascending: %d after %d", b.Generation, prevGen)
+		}
+		prevGen = b.Generation
+		if len(b.Changes) == 0 {
+			t.Error("journal holds an empty batch")
+		}
+		events += len(b.Changes)
+	}
+	if len(full.Batches) == 0 || events == 0 {
+		t.Fatalf("replay with churn journaled no changes: %+v", full)
+	}
+	if prevGen > full.Current {
+		t.Errorf("newest batch generation %d past current %d", prevGen, full.Current)
+	}
+	var paged []serve.ChangeBatchJSON
+	since := uint64(0)
+	for {
+		code, body := get(fmt.Sprintf("/v1/changes?since=%d&limit=1", since))
+		if code != http.StatusOK {
+			t.Fatalf("paged GET /v1/changes = %d", code)
+		}
+		var p serve.ChangesResponse
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, p.Batches...)
+		if !p.HasMore {
+			break
+		}
+		if p.Next == since {
+			t.Fatalf("cursor did not advance past %d", since)
+		}
+		since = p.Next
+	}
+	if !reflect.DeepEqual(paged, full.Batches) {
+		t.Errorf("paged batches differ from the full read: %d vs %d batches", len(paged), len(full.Batches))
+	}
+
+	// Time travel is on (-history 8): a garbage instant is a 400 and an
+	// instant far before the first install is 404 or 410, never 200.
+	if code, _ := get("/v1/rel?a=1&b=2&at=bogus"); code != http.StatusBadRequest {
+		t.Errorf("garbage at = %d, want 400", code)
+	}
+	if code, _ := get("/v1/rel?a=1&b=2&at=5"); code != http.StatusNotFound && code != http.StatusGone {
+		t.Errorf("prehistoric at = %d, want 404 or 410", code)
+	}
+
+	// Change counters made it to the exposition.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, kind := range []string{"link-appeared", "link-vanished", "class-flipped"} {
+		if _, ok := e.Value(fmt.Sprintf("hybridrel_changes_emitted_total{kind=%q}", kind)); !ok {
+			t.Errorf("series for kind %s missing from the exposition", kind)
+		}
+	}
+	if total := e.Sum("hybridrel_changes_emitted_total"); int(total) != events {
+		t.Errorf("counters tallied %v changes, journal holds %d", total, events)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("run did not exit after cancel")
 	}
 }

@@ -231,6 +231,13 @@ func WithReloadTimeout(d time.Duration) ServerOption { return serve.WithReloadTi
 // are answered 429 with Retry-After instead of queueing. Zero disables.
 func WithMaxInflight(n int) ServerOption { return serve.WithMaxInflight(n) }
 
+// WithHistory keeps the last n installed snapshots on the server and
+// enables ?at=<RFC3339|unix> time-travel queries on /v1/rel and
+// /v1/as/{asn}: each answers from the newest retained snapshot not
+// younger than the requested time (404 when the server never had data
+// that old, 410 once it has rolled off the ring). Zero disables.
+func WithHistory(n int) ServerOption { return serve.WithHistory(n) }
+
 // PipelineMetrics counts ingest work — archives, parsed records, and
 // parse errors — as cumulative series in a metrics registry.
 type PipelineMetrics = pipeline.Metrics

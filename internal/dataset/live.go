@@ -106,6 +106,21 @@ func (d *Dataset) Release(idx int32) (deactivated bool) {
 	return true
 }
 
+// ActiveRefs returns the total number of route references currently
+// held across all records — one per retained (vantage, prefix) route.
+// At quiescence it must match the ingester's RIB size; a surplus means
+// a leaked Retain, a deficit a double Release.
+func (d *Dataset) ActiveRefs() int {
+	if d.live == nil {
+		return 0
+	}
+	total := 0
+	for _, r := range d.live.refs {
+		total += int(r)
+	}
+	return total
+}
+
 // RefCount returns the record's active reference count.
 func (d *Dataset) RefCount(idx int32) int32 {
 	if d.live == nil || idx < 0 || int(idx) >= len(d.live.refs) {

@@ -120,6 +120,44 @@ func Merge(base, additions *Table) *Table {
 	return out
 }
 
+// Diff walks two sorted tables with one two-pointer sweep and calls fn
+// for every link present in either, in ascending canonical order, with
+// the relationship each side records (Unknown when absent) and presence
+// flags — explicitly-stored Unknown entries are distinguishable from
+// absent links, which matters to change detection. Either table may be
+// nil (treated as empty). Links stored on both sides with the same
+// relationship are reported too; callers filter for changes.
+func Diff(prev, next *Table, fn func(k asrel.LinkKey, from, to asrel.Rel, inPrev, inNext bool)) {
+	var pk, nk []uint64
+	var pv, nv []asrel.Rel
+	if prev != nil {
+		pk, pv = prev.keys, prev.rels
+	}
+	if next != nil {
+		nk, nv = next.keys, next.rels
+	}
+	i, j := 0, 0
+	for i < len(pk) && j < len(nk) {
+		switch {
+		case pk[i] < nk[j]:
+			fn(Unpack(pk[i]), pv[i], asrel.Unknown, true, false)
+			i++
+		case pk[i] > nk[j]:
+			fn(Unpack(nk[j]), asrel.Unknown, nv[j], false, true)
+			j++
+		default:
+			fn(Unpack(pk[i]), pv[i], nv[j], true, true)
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(pk); i++ {
+		fn(Unpack(pk[i]), pv[i], asrel.Unknown, true, false)
+	}
+	for ; j < len(nk); j++ {
+		fn(Unpack(nk[j]), asrel.Unknown, nv[j], false, true)
+	}
+}
+
 // TableBuilder assembles a Table from entries arriving in strictly
 // ascending canonical order — the snapshot decoder's shape, where the
 // wire format already guarantees sortedness and the builder merely

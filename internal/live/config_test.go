@@ -1,0 +1,24 @@
+package live
+
+import "testing"
+
+// TestConfigThreshold pins the Config.threshold normalization: a
+// negative value selects DefaultDirtyThreshold, zero is a real setting
+// meaning "always recompute in full", and positive values pass through
+// untouched.
+func TestConfigThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		in, want float64
+	}{
+		{-1, DefaultDirtyThreshold},
+		{-0.001, DefaultDirtyThreshold},
+		{0, 0},
+		{0.05, 0.05},
+		{0.9, 0.9},
+		{1.5, 1.5},
+	} {
+		if got := (Config{DirtyThreshold: tc.in}).threshold(); got != tc.want {
+			t.Errorf("Config{DirtyThreshold: %v}.threshold() = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -49,16 +49,22 @@ type Config struct {
 	LocPref locpref.Config
 	// DirtyThreshold is the dirty-work fraction (dirty links+vantages
 	// over total links) past which resolve falls back to a full
-	// recompute. Default 0.05.
+	// recompute. Negative selects DefaultDirtyThreshold; zero means
+	// "always recompute in full" (useful as a debugging/benchmark
+	// baseline).
 	DirtyThreshold float64
 	// Metrics, when non-nil, receives the live-tier instrumentation
 	// (NewMetrics); nil disables it.
 	Metrics *Metrics
 }
 
+// DefaultDirtyThreshold is the dirty-work fraction past which resolve
+// abandons the incremental path for a full recompute.
+const DefaultDirtyThreshold = 0.05
+
 func (c Config) threshold() float64 {
-	if c.DirtyThreshold <= 0 {
-		return 0.05
+	if c.DirtyThreshold < 0 {
+		return DefaultDirtyThreshold
 	}
 	return c.DirtyThreshold
 }
@@ -159,9 +165,12 @@ func (ap *Applier) announce(d *dataset.Dataset, e *planeEngine, vantage asrel.AS
 		}
 		key := ribKey{vantage, pfx}
 		// Implicit withdraw: a re-announcement replaces the old route.
-		// Retain-then-Release keeps an unchanged path active across
-		// the replacement, so no spurious deltas are emitted.
-		if old, ok := ap.rib[key]; ok && old != idx {
+		// Retain-then-Release keeps an unchanged path active across the
+		// replacement, so no spurious deltas are emitted — and the
+		// Release must happen even when old == idx, or each identical
+		// re-announcement leaks a refcount and a later withdraw can
+		// never deactivate the route.
+		if old, ok := ap.rib[key]; ok {
 			if d.Release(old) {
 				e.deactivate(old, d.RecObs(old))
 			}
@@ -190,6 +199,14 @@ func (ap *Applier) withdraw(d *dataset.Dataset, e *planeEngine, vantage asrel.AS
 // route withdrawals among them.
 func (ap *Applier) Applied() (updates, withdrawals int) {
 	return ap.applied, ap.withdrawals
+}
+
+// RIBSize returns the number of routes currently held across both
+// planes — one entry per (vantage, prefix). At any quiescent point it
+// must equal the sum of active route references in the datasets
+// (Dataset.ActiveRefs); divergence means a refcount bug.
+func (ap *Applier) RIBSize() int {
+	return len(ap.rib)
 }
 
 // Resolves reports how the engines brought their tables up to date so
@@ -241,6 +258,36 @@ type Runner struct {
 	// Interval triggers a snapshot on a timer when updates arrived
 	// since the last one (0 disables the timer).
 	Interval time.Duration
+	// Log, when non-nil, receives one line at the start of each burst
+	// of parse failures (log.Printf-shaped). Parse failures are
+	// non-fatal: real archives contain the occasional malformed UPDATE
+	// and one bad event must not take down live serving.
+	Log func(format string, args ...any)
+
+	// inErrBurst is true while consecutive events are failing to parse;
+	// only the first failure of a burst is logged.
+	inErrBurst bool
+}
+
+// applyEvent applies one event, absorbing parse failures: they are
+// counted on Metrics.ParseErrors, logged once per burst, and reported
+// as applied=false so the snapshot cadence ignores them.
+func (r *Runner) applyEvent(ev Event) bool {
+	err := r.Applier.Apply(ev)
+	if err == nil {
+		r.inErrBurst = false
+		return true
+	}
+	if m := r.Applier.metrics; m != nil {
+		m.ParseErrors.Inc()
+	}
+	if !r.inErrBurst {
+		r.inErrBurst = true
+		if r.Log != nil {
+			r.Log("live: dropping unparseable event(s): %v", err)
+		}
+	}
+	return false
 }
 
 // Run consumes events until the channel closes or the context is
@@ -274,10 +321,9 @@ func (r *Runner) Run(ctx context.Context, events <-chan Event) error {
 				}
 				return nil
 			}
-			if err := r.Applier.Apply(ev); err != nil {
-				return err
+			if r.applyEvent(ev) {
+				pending++
 			}
-			pending++
 			if r.Every > 0 && pending >= r.Every {
 				if err := snap(); err != nil {
 					return err
@@ -314,10 +360,9 @@ func (r *Runner) drain(events <-chan Event, pending int) error {
 				}
 				return r.swap()
 			}
-			if err := r.Applier.Apply(ev); err != nil {
-				return err
+			if r.applyEvent(ev) {
+				pending++
 			}
-			pending++
 		default:
 			if pending == 0 {
 				return nil

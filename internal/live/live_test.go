@@ -3,6 +3,7 @@ package live_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/live"
+	"hybridrel/internal/obs"
 	"hybridrel/internal/pipeline"
 	"hybridrel/internal/rpsl"
 	"hybridrel/internal/snapshot"
@@ -234,6 +236,151 @@ func TestDirtyThresholdFallback(t *testing.T) {
 	big := applyFeed(t, feed, live.Config{Dict: dict, DirtyThreshold: 0.99})
 	if !bytes.Equal(tinyBytes, snapBytes(t, big.Snapshot())) {
 		t.Error("threshold choice changed the snapshot")
+	}
+}
+
+// TestIdenticalReannouncementRefcount is the regression test for the
+// implicit-withdraw refcount leak: a route re-announced with an
+// identical AS path used to skip the Release of the replaced RIB entry
+// (old == idx), leaking one reference per flap, after which a real
+// withdrawal could never deactivate the route. Flap a few routes with
+// byte-identical re-announcements, withdraw them, and demand both
+// refcount conservation and byte-equality with an applier that never
+// saw the flaps.
+func TestIdenticalReannouncementRefcount(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(9091))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(ap *live.Applier, ev bgpsim.FeedEvent) {
+		t.Helper()
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flapped := applyFeed(t, feed, live.Config{Dict: dict})
+	clean := applyFeed(t, feed, live.Config{Dict: dict})
+	for _, i := range []int{0, 1, feed.NumRoutes() - 1} {
+		for k := 0; k < 5; k++ {
+			apply(flapped, feed.Announce(i)) // identical bytes every time
+		}
+		apply(flapped, feed.Withdraw(i))
+		apply(clean, feed.Withdraw(i))
+	}
+
+	if refs, rib := flapped.D4.ActiveRefs()+flapped.D6.ActiveRefs(), flapped.RIBSize(); refs != rib {
+		t.Errorf("refcount conservation violated after identical-path flaps: %d active references, %d RIB routes", refs, rib)
+	}
+	if !bytes.Equal(snapBytes(t, flapped.Snapshot()), snapBytes(t, clean.Snapshot())) {
+		t.Error("withdrawn flapped routes still visible: flapped applier diverged from the never-flapped one")
+	}
+}
+
+// TestRunnerAbsorbsGarbageEvents interleaves unparseable events with a
+// real feed: the runner must drop them without dying, count every drop
+// on Metrics.ParseErrors, log once per burst, and still converge to
+// the snapshot a garbage-free run produces.
+func TestRunnerAbsorbsGarbageEvents(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(3434))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 17, ChurnEvents: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := [][]byte{
+		[]byte("this is not a bgp message"),
+		nil,
+		bytes.Repeat([]byte{0xFF}, 21),
+	}
+	// A single bad event every ninth good one, plus a three-event burst
+	// at the end. Each maximal run of consecutive garbage is one burst
+	// and must produce exactly one log line.
+	var events []live.Event
+	garbageCount, bursts := 0, 0
+	for i, ev := range feed.Events {
+		if i%9 == 4 {
+			events = append(events, live.Event{Vantage: 64512, Data: garbage[garbageCount%len(garbage)]})
+			garbageCount++
+			bursts++
+		}
+		events = append(events, live.Event{Vantage: ev.Vantage, Data: ev.Data})
+	}
+	for k := range garbage {
+		events = append(events, live.Event{Vantage: 64512, Data: garbage[k]})
+		garbageCount++
+	}
+	bursts++
+
+	reg := obs.NewRegistry()
+	m := live.NewMetrics(reg)
+	ap := live.NewApplier(live.Config{Dict: dict, Metrics: m})
+	var last *snapshot.Snapshot
+	var logLines []string
+	r := &live.Runner{
+		Applier: ap,
+		Swap:    func(s *snapshot.Snapshot) error { last = s; return nil },
+		Log:     func(format string, args ...any) { logLines = append(logLines, fmt.Sprintf(format, args...)) },
+	}
+	ch := make(chan live.Event, len(events))
+	for _, ev := range events {
+		ch <- ev
+	}
+	close(ch)
+	if err := r.Run(context.Background(), ch); err != nil {
+		t.Fatalf("garbage on the stream must not kill the runner: %v", err)
+	}
+
+	if got := m.ParseErrors.Value(); got != uint64(garbageCount) {
+		t.Errorf("ParseErrors = %d, want %d", got, garbageCount)
+	}
+	if applied, _ := ap.Applied(); applied != len(feed.Events) {
+		t.Errorf("applied %d of %d good events", applied, len(feed.Events))
+	}
+	if len(logLines) != bursts {
+		t.Errorf("%d log lines for %d garbage bursts", len(logLines), bursts)
+	}
+	for _, line := range logLines {
+		if !bytes.Contains([]byte(line), []byte("unparseable")) {
+			t.Errorf("log line does not name the drop: %q", line)
+		}
+	}
+	if last == nil {
+		t.Fatal("no final snapshot swapped")
+	}
+	clean := applyFeed(t, feed, live.Config{Dict: dict})
+	if !bytes.Equal(snapBytes(t, last), snapBytes(t, clean.Snapshot())) {
+		t.Error("dropped garbage changed the snapshot")
+	}
+}
+
+// TestZeroThresholdAlwaysRecomputes pins the DirtyThreshold zero
+// semantics: the zero value means "always recompute in full" (the
+// debugging baseline), never touching the incremental path, and the
+// result still matches the default-threshold configuration.
+func TestZeroThresholdAlwaysRecomputes(t *testing.T) {
+	in, dict := buildWorld(t, liveConfig(77))
+	feed, err := bgpsim.GenerateFeed(in, bgpsim.FeedConfig{Seed: 23, ChurnEvents: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := live.NewApplier(live.Config{Dict: dict}) // zero value: always full
+	for i, ev := range feed.Events {
+		if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+			t.Fatal(err)
+		}
+		if i%101 == 0 {
+			ap.Resolve()
+		}
+	}
+	zero := snapBytes(t, ap.Snapshot())
+	if inc, full := ap.Resolves(); inc != 0 || full == 0 {
+		t.Errorf("zero threshold resolved incrementally %d times, fully %d times; want 0 and > 0", inc, full)
+	}
+	// A negative threshold selects the default, whose snapshot must agree.
+	def := applyFeed(t, feed, live.Config{Dict: dict, DirtyThreshold: -1})
+	if !bytes.Equal(zero, snapBytes(t, def.Snapshot())) {
+		t.Error("threshold semantics changed the snapshot")
 	}
 }
 

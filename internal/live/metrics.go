@@ -16,10 +16,11 @@ import (
 // NewMetrics and hand it to the Applier via Config.Metrics; a nil
 // Metrics disables instrumentation at zero cost.
 type Metrics struct {
-	Applied   *obs.Counter // UPDATE messages applied
-	Announced *obs.Counter // routes announced (retained into the live tables)
-	Withdrawn *obs.Counter // routes withdrawn (explicit withdrawals)
-	DirtyWork *obs.Gauge   // current dirty links+vantages across both planes
+	Applied     *obs.Counter // UPDATE messages applied
+	Announced   *obs.Counter // routes announced (retained into the live tables)
+	Withdrawn   *obs.Counter // routes withdrawn (explicit withdrawals)
+	ParseErrors *obs.Counter // events dropped by the Runner as unparseable
+	DirtyWork   *obs.Gauge   // current dirty links+vantages across both planes
 
 	ResolvesIncremental *obs.Counter
 	ResolvesFull        *obs.Counter
@@ -37,6 +38,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Routes announced into the live tables.", nil),
 		Withdrawn: reg.Counter("hybridrel_live_routes_withdrawn_total",
 			"Routes withdrawn from the live tables.", nil),
+		ParseErrors: reg.Counter("hybridrel_live_parse_errors_total",
+			"Feed events dropped because their UPDATE failed to parse.", nil),
 		DirtyWork: reg.Gauge("hybridrel_live_dirty_work",
 			"Pending dirty links+vantages awaiting re-inference, both planes.", nil),
 		ResolvesIncremental: reg.Counter("hybridrel_live_resolves_total",

@@ -1,0 +1,120 @@
+package live
+
+// MRTFeed turns BGP4MP UPDATE archives — RIPE RIS / RouteViews
+// `updates.*` files — into the live tier's event stream, so the same
+// binary that replays synthetic bgpsim feeds replays real collector
+// archives (`hybridserve -live-mrt <glob>`).
+//
+// Loading is strict about framing and permissive about payloads: a
+// file that cannot be framed as MRT records fails the load, while
+// non-UPDATE BGP messages (OPENs, KEEPALIVEs, state changes, table
+// dumps) are counted and skipped, and a malformed UPDATE body flows
+// through as an event for the Runner's non-fatal parse handling to
+// count and drop — exactly what it would do on a live stream.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hybridrel/internal/bgp"
+	"hybridrel/internal/mrt"
+)
+
+// MRTEvent is one feed event with the archive timestamp it carries.
+type MRTEvent struct {
+	Time  time.Time
+	Event Event
+}
+
+// MRTFeed is a replayable event stream loaded from MRT archives,
+// ordered by record timestamp.
+type MRTFeed struct {
+	// Events in non-decreasing timestamp order. Ties preserve archive
+	// order (file name order, then record order within a file), so a
+	// reload of the same files replays identically.
+	Events []MRTEvent
+	// Files lists the archives read, in the order they were read.
+	Files []string
+	// Skipped counts records that were not BGP4MP UPDATEs: other MRT
+	// record types, state changes, OPENs, KEEPALIVEs.
+	Skipped int
+}
+
+// LoadMRTFeed reads every file matching glob (sorted by name) and
+// returns the merged, timestamp-ordered feed. An unmatchable glob or
+// an unframeable file is an error; see the package comment for what is
+// skipped versus passed through.
+func LoadMRTFeed(glob string) (*MRTFeed, error) {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("live: bad -live-mrt pattern %q: %w", glob, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("live: no MRT files match %q", glob)
+	}
+	sort.Strings(files)
+	feed := &MRTFeed{Files: files}
+	for _, name := range files {
+		if err := feed.loadFile(name); err != nil {
+			return nil, err
+		}
+	}
+	// The merge must be stable: records of equal timestamp keep their
+	// archive order, making the event sequence — and therefore the
+	// downstream change stream — a pure function of the input files.
+	sort.SliceStable(feed.Events, func(i, j int) bool {
+		return feed.Events[i].Time.Before(feed.Events[j].Time)
+	})
+	return feed, nil
+}
+
+func (f *MRTFeed) loadFile(name string) error {
+	file, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("live: %w", err)
+	}
+	defer file.Close()
+	err = mrt.NewReader(file).Visit(func(rec *mrt.Record) error {
+		if rec.Type != mrt.TypeBGP4MP && rec.Type != mrt.TypeBGP4MPET {
+			f.Skipped++
+			return nil
+		}
+		m, ok := rec.Message.(*mrt.BGP4MPMessage)
+		if !ok {
+			f.Skipped++ // state changes and unknown subtypes
+			return nil
+		}
+		// Byte 18 of the BGP header (16 marker + 2 length) is the
+		// message type; only UPDATEs feed the applier.
+		if len(m.Data) < 19 || m.Data[18] != bgp.MsgUpdate {
+			f.Skipped++ // OPENs, KEEPALIVEs, truncated frames
+			return nil
+		}
+		// Visit reuses its scratch between records; the event keeps the
+		// payload, so it must own a copy.
+		f.Events = append(f.Events, MRTEvent{
+			Time: rec.Timestamp,
+			Event: Event{
+				Vantage: m.PeerAS,
+				Data:    append([]byte(nil), m.Data...),
+			},
+		})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("live: %s: %w", name, err)
+	}
+	return nil
+}
+
+// Send streams the feed's events onto ch in order, returning the
+// number sent. It does not close the channel; the caller owns it.
+func (f *MRTFeed) Send(ch chan<- Event) int {
+	for _, e := range f.Events {
+		ch <- e.Event
+	}
+	return len(f.Events)
+}

@@ -1,0 +1,149 @@
+package live_test
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/live"
+	"hybridrel/internal/mrt"
+)
+
+// bgpMessage frames a minimal BGP message of the given type: the
+// 19-byte header (16 marker bytes, length, type) plus body. Type 2
+// with a four-zero-byte body is the empty-but-well-formed UPDATE; the
+// feed loader only inspects the framing.
+func bgpMessage(typ byte, body ...byte) []byte {
+	msg := make([]byte, 19+len(body))
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xFF
+	}
+	msg[16] = byte((19 + len(body)) >> 8)
+	msg[17] = byte(19 + len(body))
+	msg[18] = typ
+	copy(msg[19:], body)
+	return msg
+}
+
+func writeArchive(t *testing.T, path string, write func(w *mrt.Writer) error) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(mrt.NewWriter(f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadMRTFeed pins the archive loader: files merge in name order,
+// events sort by timestamp with ties preserving archive order, the
+// vantage is the BGP4MP peer AS, non-UPDATE records are counted and
+// skipped, and a malformed UPDATE body flows through as an event for
+// the runner's non-fatal handling.
+func TestLoadMRTFeed(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(1_700_000_000, 0).UTC()
+	update := bgpMessage(2, 0, 0, 0, 0)
+	mkmsg := func(as uint32, data []byte) *mrt.BGP4MPMessage {
+		return &mrt.BGP4MPMessage{
+			PeerAS:    asrel.ASN(as),
+			LocalAS:   64500,
+			PeerAddr:  netip.MustParseAddr("192.0.2.1"),
+			LocalAddr: netip.MustParseAddr("192.0.2.2"),
+			AS4:       true,
+			Data:      data,
+		}
+	}
+	// a.mrt: two UPDATEs written out of timestamp order, plus three
+	// records the loader must count and skip.
+	writeArchive(t, filepath.Join(dir, "a.mrt"), func(w *mrt.Writer) error {
+		if err := w.WriteBGP4MP(base.Add(2*time.Second), mkmsg(65001, update)); err != nil {
+			return err
+		}
+		if err := w.WriteBGP4MP(base, mkmsg(65002, update)); err != nil {
+			return err
+		}
+		if err := w.WriteBGP4MP(base, mkmsg(65010, bgpMessage(4))); err != nil { // KEEPALIVE
+			return err
+		}
+		if err := w.WriteRaw(base, mrt.TypeBGP4MP, mrt.SubtypeStateChange, make([]byte, 16)); err != nil {
+			return err
+		}
+		return w.WriteRaw(base, 99, 0, []byte("mystery record type"))
+	})
+	// b.mrt: a timestamp tie with a.mrt's base record, a later event,
+	// and a headers-only UPDATE (truncated body) that must flow through.
+	writeArchive(t, filepath.Join(dir, "b.mrt"), func(w *mrt.Writer) error {
+		if err := w.WriteBGP4MP(base, mkmsg(65003, update)); err != nil {
+			return err
+		}
+		if err := w.WriteBGP4MP(base.Add(time.Second), mkmsg(65004, update)); err != nil {
+			return err
+		}
+		return w.WriteBGP4MP(base.Add(3*time.Second), mkmsg(65005, bgpMessage(2)))
+	})
+
+	feed, err := live.LoadMRTFeed(filepath.Join(dir, "*.mrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Files) != 2 ||
+		filepath.Base(feed.Files[0]) != "a.mrt" || filepath.Base(feed.Files[1]) != "b.mrt" {
+		t.Errorf("files = %v, want sorted [a.mrt b.mrt]", feed.Files)
+	}
+	if feed.Skipped != 3 {
+		t.Errorf("Skipped = %d, want 3 (keepalive, state change, unknown type)", feed.Skipped)
+	}
+	// Timestamp order with stable ties: a.mrt's base record before
+	// b.mrt's, despite a.mrt writing its base record second.
+	wantVantages := []asrel.ASN{65002, 65003, 65004, 65001, 65005}
+	if len(feed.Events) != len(wantVantages) {
+		t.Fatalf("loaded %d events, want %d", len(feed.Events), len(wantVantages))
+	}
+	for i, want := range wantVantages {
+		if got := feed.Events[i].Event.Vantage; got != want {
+			t.Errorf("event %d: vantage %d, want %d", i, got, want)
+		}
+		if i > 0 && feed.Events[i].Time.Before(feed.Events[i-1].Time) {
+			t.Errorf("event %d: timestamp %v before predecessor's %v", i, feed.Events[i].Time, feed.Events[i-1].Time)
+		}
+	}
+	if got := feed.Events[0].Time; !got.Equal(base) {
+		t.Errorf("first event at %v, want %v", got, base)
+	}
+
+	// Send streams every event in order and leaves the channel open.
+	ch := make(chan live.Event, len(feed.Events)+1)
+	if n := feed.Send(ch); n != len(feed.Events) {
+		t.Errorf("Send sent %d of %d events", n, len(feed.Events))
+	}
+	ch <- live.Event{} // still open: Send must not close the caller's channel
+	if got := (<-ch).Vantage; got != wantVantages[0] {
+		t.Errorf("first sent event from vantage %d, want %d", got, wantVantages[0])
+	}
+}
+
+func TestLoadMRTFeedErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := live.LoadMRTFeed(filepath.Join(dir, "*.nope")); err == nil {
+		t.Error("unmatched glob must fail the load")
+	}
+	if _, err := live.LoadMRTFeed("["); err == nil {
+		t.Error("invalid glob pattern must fail the load")
+	}
+	// A file that cannot be framed as MRT records fails the whole load.
+	bad := filepath.Join(dir, "c.bad")
+	if err := os.WriteFile(bad, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.LoadMRTFeed(bad); err == nil {
+		t.Error("unframeable archive must fail the load")
+	}
+}

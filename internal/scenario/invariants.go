@@ -24,11 +24,12 @@ import (
 
 // Invariant names, shared by reports and tests.
 const (
-	InvParallelism = "parallelism-identity"
-	InvRoundTrip   = "snapshot-roundtrip"
-	InvServe       = "serve-accessor-agreement"
-	InvInterned    = "interned-legacy-equivalence"
-	InvLive        = "live-batch-equivalence"
+	InvParallelism  = "parallelism-identity"
+	InvRoundTrip    = "snapshot-roundtrip"
+	InvServe        = "serve-accessor-agreement"
+	InvInterned     = "interned-legacy-equivalence"
+	InvLive         = "live-batch-equivalence"
+	InvChangeStream = "change-stream-determinism"
 )
 
 // checkInvariants runs the shared differential suite over one
@@ -54,6 +55,7 @@ func checkInvariants(ctx context.Context, src pipeline.Sources, in *gen.Internet
 		return []InvariantResult{
 			verdict(InvParallelism, e), verdict(InvRoundTrip, e),
 			verdict(InvServe, e), verdict(InvInterned, e), verdict(InvLive, e),
+			verdict(InvChangeStream, e),
 		}
 	}
 	return []InvariantResult{
@@ -62,6 +64,7 @@ func checkInvariants(ctx context.Context, src pipeline.Sources, in *gen.Internet
 		verdict(InvServe, checkServe(a)),
 		verdict(InvInterned, checkInterned(a)),
 		verdict(InvLive, checkLive(in, feedCfg, a, snapBytes)),
+		verdict(InvChangeStream, checkChangeStream(in, feedCfg, a)),
 	}
 }
 
@@ -100,6 +103,87 @@ func checkLive(in *gen.Internet, feedCfg bgpsim.FeedConfig, a *core.Analysis, wa
 	if !bytes.Equal(want, got) {
 		return fmt.Errorf("live snapshot differs from batch after %d events (%d withdrawals): %d vs %d bytes",
 			len(feed.Events), withdrawals, len(got), len(want))
+	}
+	// Refcount conservation: every RIB entry holds exactly one record
+	// reference, so the active reference totals must equal the RIB size
+	// at quiescence. A surplus is a leaked Retain (the identical-path
+	// re-announcement bug class), a deficit a double Release — either
+	// silently corrupts the table under continued flapping even when
+	// the snapshot above still matched.
+	if refs := ap.D4.ActiveRefs() + ap.D6.ActiveRefs(); refs != ap.RIBSize() {
+		return fmt.Errorf("refcount conservation violated: %d active references vs %d RIB routes",
+			refs, ap.RIBSize())
+	}
+	return nil
+}
+
+// changeStreamSwaps is how many intermediate snapshots the change-
+// stream replay installs before the final one.
+const changeStreamSwaps = 16
+
+// checkChangeStream replays the scenario's feed through a fresh live
+// applier and serving layer twice, installing snapshots on a fixed
+// cadence and draining GET /v1/changes with cursor pagination each
+// time; the two replays must produce byte-identical change streams.
+// Nothing in the pipeline — map iteration, scheduling, time — may leak
+// into the journal.
+func checkChangeStream(in *gen.Internet, feedCfg bgpsim.FeedConfig, a *core.Analysis) error {
+	replay := func() ([]byte, error) {
+		feed, err := bgpsim.GenerateFeed(in, feedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("generating the feed: %w", err)
+		}
+		ap := live.NewApplier(live.Config{Dict: a.Dict})
+		srv := serve.New(nil, serve.WithHistory(4))
+		chunk := max(1, len(feed.Events)/changeStreamSwaps)
+		for i, ev := range feed.Events {
+			if err := ap.Apply(live.Event{Vantage: ev.Vantage, Data: ev.Data}); err != nil {
+				return nil, fmt.Errorf("applying event %d/%d: %w", i, len(feed.Events), err)
+			}
+			if (i+1)%chunk == 0 {
+				srv.Load(ap.Snapshot())
+			}
+		}
+		srv.Load(ap.Snapshot())
+
+		// Drain the journal in small pages so the cursor logic is part
+		// of what determinism covers, accumulating the raw bodies.
+		var stream []byte
+		since := uint64(0)
+		for {
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/changes?since=%d&limit=64", since), nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return nil, fmt.Errorf("GET /v1/changes?since=%d: status %d: %s",
+					since, rec.Code, rec.Body.String())
+			}
+			stream = append(stream, rec.Body.Bytes()...)
+			var page serve.ChangesResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+				return nil, fmt.Errorf("GET /v1/changes: bad JSON: %w", err)
+			}
+			if !page.HasMore {
+				return stream, nil
+			}
+			if page.Next <= since {
+				return nil, fmt.Errorf("GET /v1/changes cursor did not advance past %d", since)
+			}
+			since = page.Next
+		}
+	}
+	first, err := replay()
+	if err != nil {
+		return fmt.Errorf("first replay: %w", err)
+	}
+	second, err := replay()
+	if err != nil {
+		return fmt.Errorf("second replay: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("change streams differ between identical replays (%d vs %d bytes)",
+			len(first), len(second))
 	}
 	return nil
 }

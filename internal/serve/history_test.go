@@ -1,0 +1,439 @@
+package serve
+
+// Tests for the time-travel ring (?at=) and the relationship-change
+// journal (/v1/changes): state resolution across the ring with the
+// full 400/404/410/503 grid, endpoint-level pinning of ?at= responses
+// against hand-installed generations, journal pagination determinism
+// under concurrent readers, the journal's trim bounds, the diff's
+// inverse symmetry, and the change counters on /metrics.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridrel/internal/obs"
+	"hybridrel/internal/snapshot"
+)
+
+// TestTimeTravelStateResolution drives stateAt directly over a ring of
+// three hand-installed generations with depth two, pinning which
+// generation answers each instant and every error status.
+func TestTimeTravelStateResolution(t *testing.T) {
+	_, snap, alt := fixtures(t)
+	srv := New(snap, WithHistory(2))
+	st1 := srv.state.Load()
+	srv.Load(alt)
+	st2 := srv.state.Load()
+	srv.Load(snap)
+	st3 := srv.state.Load()
+	if st1.generation != 1 || st2.generation != 2 || st3.generation != 3 {
+		t.Fatalf("generations %d/%d/%d, want 1/2/3", st1.generation, st2.generation, st3.generation)
+	}
+
+	resolve := func(s *Server, at string) (*state, int) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		target := "/v1/rel"
+		if at != "" {
+			target += "?at=" + url.QueryEscape(at)
+		}
+		st := s.stateAt(rec, httptest.NewRequest("GET", target, nil))
+		return st, rec.Code
+	}
+	rfc := func(ts time.Time) string { return ts.Format(time.RFC3339Nano) }
+
+	// An exact stamp answers from that generation; an instant between
+	// two installs answers from the older one (newest not younger).
+	if st, _ := resolve(srv, rfc(st3.loadedAt)); st != st3 {
+		t.Error("at = newest install did not answer from generation 3")
+	}
+	if st, _ := resolve(srv, rfc(st2.loadedAt)); st != st2 {
+		t.Error("at = generation 2's install did not answer from generation 2")
+	}
+	if gap := st3.loadedAt.Sub(st2.loadedAt); gap > time.Nanosecond {
+		if st, _ := resolve(srv, rfc(st2.loadedAt.Add(gap/2))); st != st2 {
+			t.Error("an instant between installs did not answer from the older generation")
+		}
+	}
+	// Unix-seconds form, comfortably after the newest install.
+	if st, _ := resolve(srv, strconv.FormatInt(st3.loadedAt.Unix()+10, 10)); st != st3 {
+		t.Error("unix-seconds at past the newest install did not answer from it")
+	}
+	// Generation 1 rolled off the depth-2 ring: its install time is now
+	// behind the horizon, which is 410, not 404.
+	if st, code := resolve(srv, rfc(st1.loadedAt)); st != nil || code != http.StatusGone {
+		t.Errorf("evicted instant: state %v, status %d, want nil and 410", st != nil, code)
+	}
+	if st, code := resolve(srv, "half past noon"); st != nil || code != http.StatusBadRequest {
+		t.Errorf("garbage at: state %v, status %d, want nil and 400", st != nil, code)
+	}
+	// No ?at= falls through to the live state.
+	if st, _ := resolve(srv, ""); st != st3 {
+		t.Error("request without at did not answer from the current state")
+	}
+
+	// Without WithHistory, any ?at= is a 400.
+	bare := New(snap)
+	if st, code := resolve(bare, rfc(st1.loadedAt)); st != nil || code != http.StatusBadRequest {
+		t.Errorf("history disabled: state %v, status %d, want nil and 400", st != nil, code)
+	}
+	// A ring that never evicted answers 404 for times before its first
+	// load: the server never had data that old.
+	young := New(snap, WithHistory(4))
+	yt := young.state.Load().loadedAt
+	if st, code := resolve(young, rfc(yt.Add(-time.Hour))); st != nil || code != http.StatusNotFound {
+		t.Errorf("before history with no eviction: state %v, status %d, want nil and 404", st != nil, code)
+	}
+	// History enabled but nothing loaded yet: 503, like every data read.
+	empty := New(nil, WithHistory(4))
+	if st, code := resolve(empty, rfc(yt)); st != nil || code != http.StatusServiceUnavailable {
+		t.Errorf("empty ring: state %v, status %d, want nil and 503", st != nil, code)
+	}
+}
+
+// TestTimeTravelEndpointPinning is the end-to-end acceptance check:
+// with two hand-installed generations, /v1/rel and /v1/as answered at
+// ?at=<first install> must be byte-identical to a server that only
+// ever saw the first snapshot, while the plain query answers from the
+// second — and for at least one link the two genuinely differ.
+func TestTimeTravelEndpointPinning(t *testing.T) {
+	_, snap, alt := fixtures(t)
+	srv := New(snap, WithHistory(4))
+	t1 := srv.state.Load().loadedAt
+	srv.Load(alt)
+
+	refOld, refNew := New(snap), New(alt)
+	body := func(h http.Handler, target string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		return rec.Code, rec.Body.String()
+	}
+	at := url.QueryEscape(t1.Format(time.RFC3339Nano))
+	withAt := func(path string) string {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		return path + sep + "at=" + at
+	}
+
+	pinned := 0
+	differs := false
+	check := func(path string) {
+		t.Helper()
+		curCode, cur := body(srv, path)
+		newCode, newBody := body(refNew, path)
+		if curCode != newCode || cur != newBody {
+			t.Errorf("%s: current response differs from the newest snapshot's (%d vs %d)", path, curCode, newCode)
+		}
+		oldCode, old := body(srv, withAt(path))
+		wantCode, want := body(refOld, path)
+		if oldCode != wantCode || old != want {
+			t.Errorf("%s: ?at= response differs from the pinned generation's (%d vs %d)", path, oldCode, wantCode)
+		}
+		if cur != old {
+			differs = true
+		}
+		pinned++
+	}
+	for _, h := range snap.Hybrids {
+		check(fmt.Sprintf("/v1/rel?a=%d&b=%d", h.Key.Lo, h.Key.Hi))
+		check(fmt.Sprintf("/v1/as/%d", h.Key.Lo))
+	}
+	if pinned == 0 {
+		t.Fatal("fixture world has no hybrids to pin")
+	}
+	if !differs {
+		t.Error("every pinned response matched the current one; the fixtures make this test vacuous")
+	}
+}
+
+// TestChangesEndpoint exercises /v1/changes over three installs:
+// batch shape and cursor fields, inverse symmetry of an A→B→A install
+// sequence, whole-batch pagination that concatenates to the full read
+// identically for concurrent readers, and the error grid.
+func TestChangesEndpoint(t *testing.T) {
+	_, snap, alt := fixtures(t)
+	srv := New(snap) // generation 1: first install, no batch
+	srv.Load(alt)    // generation 2
+	srv.Load(snap)   // generation 3: the exact inverse of generation 2
+
+	// The fixture diffs are bigger than DefaultChangeLimit, so the
+	// whole-journal read must ask for the cap.
+	var full ChangesResponse
+	if code := get(t, srv, "GET", fmt.Sprintf("/v1/changes?limit=%d", MaxChangeLimit), &full); code != http.StatusOK {
+		t.Fatalf("GET /v1/changes = %d", code)
+	}
+	if full.Since != 0 || full.Current != 3 || full.HasMore || full.Next != 3 {
+		t.Errorf("cursor fields: since %d next %d current %d more %v",
+			full.Since, full.Next, full.Current, full.HasMore)
+	}
+	if len(full.Batches) != 2 || full.Batches[0].Generation != 2 || full.Batches[1].Generation != 3 {
+		gens := make([]uint64, len(full.Batches))
+		for i, b := range full.Batches {
+			gens[i] = b.Generation
+		}
+		t.Fatalf("batch generations = %v, want [2 3] (first install emits nothing)", gens)
+	}
+	kindNames := map[string]bool{"link-appeared": true, "link-vanished": true, "class-flipped": true}
+	kinds := func(b ChangeBatchJSON) map[string]int {
+		out := map[string]int{}
+		for _, c := range b.Changes {
+			out[c.Kind]++
+			if !kindNames[c.Kind] {
+				t.Errorf("unknown change kind %q", c.Kind)
+			}
+			if c.Plane != "ipv4" && c.Plane != "ipv6" {
+				t.Errorf("unknown plane %q", c.Plane)
+			}
+			if c.A >= c.B {
+				t.Errorf("change key not canonical: %d >= %d", c.A, c.B)
+			}
+		}
+		return out
+	}
+	k2, k3 := kinds(full.Batches[0]), kinds(full.Batches[1])
+	if len(full.Batches[0].Changes) == 0 {
+		t.Fatal("differing snapshots produced an empty batch")
+	}
+	if k2["link-appeared"] != k3["link-vanished"] ||
+		k2["link-vanished"] != k3["link-appeared"] ||
+		k2["class-flipped"] != k3["class-flipped"] {
+		t.Errorf("A→B→A batches are not inverses: %v vs %v", k2, k3)
+	}
+
+	// Cursors skip consumed batches; a cursor at or past the newest
+	// generation is an empty page, not an error.
+	var page ChangesResponse
+	if code := get(t, srv, "GET", "/v1/changes?since=2", &page); code != http.StatusOK {
+		t.Fatalf("since=2: %d", code)
+	}
+	if len(page.Batches) != 1 || page.Batches[0].Generation != 3 || page.Next != 3 {
+		t.Errorf("since=2: %+v", page)
+	}
+	for _, since := range []string{"3", "999"} {
+		if code := get(t, srv, "GET", "/v1/changes?since="+since, &page); code != http.StatusOK {
+			t.Fatalf("since=%s: %d", since, code)
+		}
+		if len(page.Batches) != 0 || page.HasMore {
+			t.Errorf("since=%s: non-empty page %+v", since, page)
+		}
+	}
+
+	// Whole-batch pagination at limit=1: each page is exactly one batch
+	// (batches are never split), and concurrent paginated readers all
+	// see the identical byte sequence.
+	pageAll := func() (string, error) {
+		var buf bytes.Buffer
+		since := uint64(0)
+		for {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/changes?since=%d&limit=1", since), nil))
+			if rec.Code != http.StatusOK {
+				return "", fmt.Errorf("paged read: status %d", rec.Code)
+			}
+			buf.Write(rec.Body.Bytes())
+			var p ChangesResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+				return "", err
+			}
+			if len(p.Batches) > 1 {
+				t.Errorf("limit=1 returned %d batches in one page", len(p.Batches))
+			}
+			if !p.HasMore {
+				return buf.String(), nil
+			}
+			if p.Next == since {
+				return "", fmt.Errorf("cursor did not advance past %d", since)
+			}
+			since = p.Next
+		}
+	}
+	sequential, err := pageAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 4
+	results := make(chan string, readers)
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := pageAll()
+			results <- s
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < readers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		if got := <-results; got != sequential {
+			t.Error("concurrent paginated reader saw a different byte sequence")
+		}
+	}
+
+	var e ErrorResponse
+	if code := get(t, srv, "GET", "/v1/changes?since=banana", &e); code != http.StatusBadRequest {
+		t.Errorf("garbage since: %d", code)
+	}
+	if code := get(t, srv, "GET", "/v1/changes?limit=0", &e); code != http.StatusBadRequest {
+		t.Errorf("zero limit: %d", code)
+	}
+	if code := get(t, srv, "GET", "/v1/changes?limit=-3", &e); code != http.StatusBadRequest {
+		t.Errorf("negative limit: %d", code)
+	}
+
+	// Once the journal trims, cursors below the horizon are 410 Gone;
+	// cursors at it still read.
+	srv.histMu.Lock()
+	srv.journal.trimmedThrough = 2
+	srv.histMu.Unlock()
+	if code := get(t, srv, "GET", "/v1/changes?since=1", &e); code != http.StatusGone {
+		t.Errorf("cursor below the trim horizon: %d, want 410", code)
+	}
+	if code := get(t, srv, "GET", "/v1/changes?since=2", &page); code != http.StatusOK {
+		t.Errorf("cursor at the trim horizon: %d, want 200", code)
+	}
+}
+
+// TestChangeJournalBounds unit-tests the journal's trim policy: the
+// batch-count bound, the event-count bound, the always-keep-the-newest
+// guarantee, and that empty change sets leave no batch behind.
+func TestChangeJournalBounds(t *testing.T) {
+	mk := func(n int) []snapshot.Change { return make([]snapshot.Change, n) }
+
+	var j changeJournal
+	j.append(1, nil)
+	if len(j.batches) != 0 || j.events != 0 {
+		t.Errorf("empty change set left a batch: %d batches, %d events", len(j.batches), j.events)
+	}
+
+	const extra = 50
+	for g := uint64(1); g <= JournalMaxBatches+extra; g++ {
+		j.append(g, mk(1))
+	}
+	if len(j.batches) != JournalMaxBatches {
+		t.Errorf("batch bound: %d retained, want %d", len(j.batches), JournalMaxBatches)
+	}
+	if j.events != JournalMaxBatches {
+		t.Errorf("event tally %d after trims, want %d", j.events, JournalMaxBatches)
+	}
+	if j.trimmedThrough != extra {
+		t.Errorf("trimmedThrough = %d, want %d", j.trimmedThrough, extra)
+	}
+	if first := j.batches[0].generation; first != extra+1 {
+		t.Errorf("oldest retained generation %d, want %d", first, extra+1)
+	}
+
+	// One batch at the event cap is retained whole (the newest batch is
+	// never trimmed); the next batch evicts it.
+	var j2 changeJournal
+	j2.append(1, mk(JournalMaxEvents))
+	if len(j2.batches) != 1 || j2.trimmedThrough != 0 {
+		t.Fatalf("a single at-cap batch must be kept: %d batches, trimmed %d", len(j2.batches), j2.trimmedThrough)
+	}
+	j2.append(2, mk(10))
+	if len(j2.batches) != 1 || j2.batches[0].generation != 2 || j2.events != 10 || j2.trimmedThrough != 1 {
+		t.Errorf("event bound: %d batches (first gen %d), %d events, trimmed %d",
+			len(j2.batches), j2.batches[0].generation, j2.events, j2.trimmedThrough)
+	}
+}
+
+// TestSnapshotDiffSemantics pins snapshot.Diff through the fixture
+// pair: nil endpoints diff to nothing (first install emits no flood),
+// a snapshot diffs to itself empty, and swapping the arguments mirrors
+// every change exactly.
+func TestSnapshotDiffSemantics(t *testing.T) {
+	_, snap, alt := fixtures(t)
+	if cs := snapshot.Diff(nil, snap); cs != nil {
+		t.Errorf("Diff(nil, snap) emitted %d changes, want none", len(cs))
+	}
+	if cs := snapshot.Diff(snap, nil); cs != nil {
+		t.Errorf("Diff(snap, nil) emitted %d changes, want none", len(cs))
+	}
+	if cs := snapshot.Diff(snap, snap); len(cs) != 0 {
+		t.Errorf("Diff(snap, snap) emitted %d changes, want none", len(cs))
+	}
+
+	fwd := snapshot.Diff(snap, alt)
+	back := snapshot.Diff(alt, snap)
+	if len(fwd) == 0 {
+		t.Fatal("fixture snapshots diff to nothing; the journal tests are vacuous")
+	}
+	if len(fwd) != len(back) {
+		t.Fatalf("asymmetric diff: %d forward, %d backward", len(fwd), len(back))
+	}
+	mirrored := make(map[snapshot.Change]bool, len(back))
+	for _, c := range back {
+		mirrored[c] = true
+	}
+	for _, c := range fwd {
+		m := snapshot.Change{Plane: c.Plane, Key: c.Key, From: c.To, To: c.From}
+		switch c.Kind {
+		case snapshot.LinkAppeared:
+			m.Kind = snapshot.LinkVanished
+		case snapshot.LinkVanished:
+			m.Kind = snapshot.LinkAppeared
+		case snapshot.ClassFlipped:
+			m.Kind = snapshot.ClassFlipped
+		}
+		if !mirrored[m] {
+			t.Errorf("change %+v has no mirror in the reverse diff", c)
+		}
+	}
+}
+
+// TestChangesMetrics checks that installs count their diffs on the
+// per-kind hybridrel_changes_emitted_total counters and that the tally
+// agrees with the journal's own event count.
+func TestChangesMetrics(t *testing.T) {
+	_, snap, alt := fixtures(t)
+	reg := obs.NewRegistry()
+	srv := New(snap, WithMetrics(reg))
+	srv.Load(alt)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, kind := range []string{"link-appeared", "link-vanished", "class-flipped"} {
+		if _, ok := e.Value(fmt.Sprintf("hybridrel_changes_emitted_total{kind=%q}", kind)); !ok {
+			t.Errorf("series for kind %s missing from the exposition", kind)
+		}
+	}
+	total := e.Sum("hybridrel_changes_emitted_total")
+	if !(total > 0) {
+		t.Fatalf("no changes counted after a differing install: %v", total)
+	}
+	var resp ChangesResponse
+	if code := get(t, srv, "GET", fmt.Sprintf("/v1/changes?limit=%d", MaxChangeLimit), &resp); code != http.StatusOK {
+		t.Fatalf("GET /v1/changes = %d", code)
+	}
+	journaled := 0
+	for _, b := range resp.Batches {
+		journaled += len(b.Changes)
+	}
+	if int(total) != journaled {
+		t.Errorf("counters tallied %v changes, journal holds %d", total, journaled)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hybridrel/internal/obs"
+	"hybridrel/internal/snapshot"
 )
 
 // endpointNames is the fixed route vocabulary of the metrics layer;
@@ -29,15 +30,15 @@ import (
 // touching the mux, so shed and timeout responses are attributed to
 // the endpoint the client asked for even when no handler ran.
 var endpointNames = []string{
-	"/v1/rel", "/v1/as/{asn}", "/v1/hybrids", "/v1/stats", "/v1/reload",
-	"/healthz", "/readyz", "/metrics", "other",
+	"/v1/rel", "/v1/as/{asn}", "/v1/hybrids", "/v1/stats", "/v1/changes",
+	"/v1/reload", "/healthz", "/readyz", "/metrics", "other",
 }
 
 // endpointOf classifies a request path into the metrics vocabulary.
 func endpointOf(path string) string {
 	switch path {
-	case "/v1/rel", "/v1/hybrids", "/v1/stats", "/v1/reload",
-		"/healthz", "/readyz", "/metrics":
+	case "/v1/rel", "/v1/hybrids", "/v1/stats", "/v1/changes",
+		"/v1/reload", "/healthz", "/readyz", "/metrics":
 		return path
 	}
 	if strings.HasPrefix(path, "/v1/as/") {
@@ -73,6 +74,9 @@ type serveMetrics struct {
 	byEndpoint map[string]*endpointInstruments
 	shed       *obs.Counter
 	timeouts   *obs.Counter
+	// changes counts journal events by kind, indexed by
+	// snapshot.ChangeKind.
+	changes [snapshot.NumChangeKinds]*obs.Counter
 }
 
 func newServeMetrics(reg *obs.Registry, s *Server) *serveMetrics {
@@ -95,6 +99,11 @@ func newServeMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 		"Requests rejected with 429 by the in-flight load-shedder.", nil)
 	m.timeouts = reg.Counter("hybridrel_http_request_timeouts_total",
 		"Requests answered 503 by the per-request timeout.", nil)
+	for i := range m.changes {
+		m.changes[i] = reg.Counter("hybridrel_changes_emitted_total",
+			"Relationship-change events appended to the journal, by kind.",
+			obs.Labels{"kind": snapshot.ChangeKind(i).String()})
+	}
 
 	reg.GaugeFunc("hybridrel_snapshot_generation",
 		"Monotone install counter of the serving snapshot.", nil, func() float64 {

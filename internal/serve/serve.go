@@ -16,10 +16,16 @@
 //	GET  /v1/as/{asn}              adjacency, per-plane rels, hybrid links
 //	GET  /v1/hybrids               paginated hybrid list (?class=&offset=&limit=)
 //	GET  /v1/stats                 coverage / census / visibility / valley
+//	GET  /v1/changes               relationship-change journal (?since=&limit=)
 //	GET  /healthz                  liveness (200 even before the first load)
 //	GET  /readyz                   readiness (503 until a snapshot is installed)
 //	GET  /metrics                  Prometheus text exposition (WithMetrics)
 //	POST /v1/reload                re-run the configured loader and swap
+//
+// With WithHistory(n), /v1/rel and /v1/as/{asn} additionally accept
+// ?at=<RFC3339|unix> and answer from the newest of the last n
+// installed snapshots not younger than that time (404 when the server
+// never had data that old, 410 once the ring has evicted it).
 //
 // Production concerns are opt-in per Option: WithMetrics instruments
 // every endpoint and serves /metrics, WithAccessLog emits one JSON
@@ -83,6 +89,16 @@ type Server struct {
 	reloadTimeout time.Duration
 	maxInflight   int64
 	inflight      atomic.Int64
+
+	// Time travel and the change journal (see history.go). histMu
+	// guards the ring and journal, and serializes the install step of
+	// Load so generations, ring order, and journal order always agree;
+	// readers stay lock-free on the atomic state.
+	histMu       sync.Mutex
+	historyDepth int
+	history      []*state // ring of recent states, oldest first
+	evicted      bool     // the ring has dropped at least one state
+	journal      changeJournal
 }
 
 // Option customizes a Server.
@@ -151,6 +167,7 @@ func New(snap *snapshot.Snapshot, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/as/{asn}", s.handleAS)
 	s.mux.HandleFunc("GET /v1/hybrids", s.handleHybrids)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/changes", s.handleChanges)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -159,8 +176,8 @@ func New(snap *snapshot.Snapshot, opts ...Option) *Server {
 	// their method); everything unrouted gets a JSON 404.
 	for pattern, allow := range map[string]string{
 		"/v1/rel": "GET", "/v1/as/{asn}": "GET", "/v1/hybrids": "GET",
-		"/v1/stats": "GET", "/healthz": "GET", "/readyz": "GET",
-		"/v1/reload": "POST",
+		"/v1/stats": "GET", "/v1/changes": "GET", "/healthz": "GET",
+		"/readyz": "GET", "/v1/reload": "POST",
 	} {
 		s.mux.HandleFunc(pattern, methodNotAllowed(allow))
 	}
@@ -253,11 +270,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Load indexes snap and atomically installs it. In-flight requests
-// keep reading the state they started with.
+// keep reading the state they started with. Each install also diffs
+// the outgoing snapshot's relationship tables against the incoming
+// ones into the change journal (served on /v1/changes), and — with
+// WithHistory — pushes the new state onto the time-travel ring.
 func (s *Server) Load(snap *snapshot.Snapshot) {
-	st := buildState(snap)
+	st := buildState(snap) // the expensive part, outside the lock
+	s.histMu.Lock()
+	prev := s.state.Load()
 	st.generation = s.generation.Add(1)
 	s.state.Store(st)
+	s.pushHistory(st)
+	var changes []snapshot.Change
+	if prev != nil {
+		changes = snapshot.Diff(prev.snap, st.snap)
+	}
+	s.journal.append(st.generation, changes)
+	if s.metrics != nil {
+		for _, c := range changes {
+			s.metrics.changes[c.Kind].Inc()
+		}
+	}
+	s.histMu.Unlock()
 }
 
 // Generation returns the number of snapshots installed so far.
@@ -559,7 +593,7 @@ func (s *Server) loadedState(w http.ResponseWriter) *state {
 }
 
 func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
-	st := s.loadedState(w)
+	st := s.stateAt(w, r)
 	if st == nil {
 		return
 	}
@@ -599,7 +633,7 @@ func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
-	st := s.loadedState(w)
+	st := s.stateAt(w, r)
 	if st == nil {
 		return
 	}

@@ -144,6 +144,51 @@ type StatsResponse struct {
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 }
 
+// ChangeJSON is one relationship-change event: on plane "ipv4" or
+// "ipv6", the link {a, b} (canonical order, a < b) appeared, vanished,
+// or flipped class between two consecutively installed snapshots.
+// From/To are the a→b relationships before and after ("unknown" on the
+// absent side of an appearance or vanishing). The schema carries no
+// timestamps by design: replaying a feed twice must yield
+// byte-identical change sequences.
+type ChangeJSON struct {
+	Plane string `json:"plane"`
+	Kind  string `json:"kind"` // link-appeared | link-vanished | class-flipped
+	A     uint32 `json:"a"`
+	B     uint32 `json:"b"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+}
+
+// ChangeBatchJSON is the change set of one snapshot install, tagged
+// with the generation it produced.
+type ChangeBatchJSON struct {
+	Generation uint64       `json:"generation"`
+	Changes    []ChangeJSON `json:"changes"`
+}
+
+// ChangesResponse answers GET /v1/changes?since=&limit=: whole change
+// batches with generation > since, oldest first. Next is the cursor
+// for the following page (pass it back as ?since=); HasMore reports
+// whether batches past this page already exist; Current is the
+// server's newest generation.
+type ChangesResponse struct {
+	Since   uint64            `json:"since"`
+	Next    uint64            `json:"next"`
+	Current uint64            `json:"current"`
+	HasMore bool              `json:"has_more"`
+	Batches []ChangeBatchJSON `json:"batches"`
+}
+
+// planeLabel renders an address family as the API's lowercase plane
+// label.
+func planeLabel(af asrel.AF) string {
+	if af == asrel.IPv6 {
+		return "ipv6"
+	}
+	return "ipv4"
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`

@@ -1,0 +1,89 @@
+package snapshot
+
+// Relationship-change detection between consecutive snapshots: the
+// longitudinal signal of the paper. Each serving-side hot swap diffs
+// the outgoing snapshot's flat relationship tables against the
+// incoming ones — a linear two-pointer sweep over sorted arrays, cheap
+// by construction — and emits one Change per link whose classification
+// appeared, vanished, or flipped, per plane, in ascending canonical
+// order. Determinism is part of the contract: replaying the same feed
+// twice must produce byte-identical change sequences, which the
+// scenario matrix enforces.
+
+import (
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/intern"
+)
+
+// ChangeKind classifies one relationship change.
+type ChangeKind uint8
+
+const (
+	// LinkAppeared: the link has a recorded relationship in the new
+	// snapshot but none in the old.
+	LinkAppeared ChangeKind = iota
+	// LinkVanished: the link had a recorded relationship in the old
+	// snapshot but has none in the new.
+	LinkVanished
+	// ClassFlipped: the link is recorded in both with different
+	// relationship classes.
+	ClassFlipped
+)
+
+// NumChangeKinds is the number of ChangeKind values.
+const NumChangeKinds = 3
+
+func (k ChangeKind) String() string {
+	switch k {
+	case LinkAppeared:
+		return "link-appeared"
+	case LinkVanished:
+		return "link-vanished"
+	case ClassFlipped:
+		return "class-flipped"
+	}
+	return "unknown"
+}
+
+// Change is one relationship-change event on one plane's table.
+// From/To are the Lo→Hi relationships of the two snapshots (Unknown on
+// the absent side of an appearance or vanishing).
+type Change struct {
+	Plane    asrel.AF
+	Kind     ChangeKind
+	Key      asrel.LinkKey
+	From, To asrel.Rel
+}
+
+// Diff reports the relationship changes from prev to next: all IPv4
+// changes in ascending canonical link order, then all IPv6 changes.
+// Links present on both sides with an identical relationship emit
+// nothing. A nil prev returns nil — the first installed snapshot has
+// no baseline, and flooding the journal with every known link as
+// "appeared" would drown the actual signal.
+func Diff(prev, next *Snapshot) []Change {
+	if prev == nil || next == nil {
+		return nil
+	}
+	var out []Change
+	diffPlane(&out, asrel.IPv4, prev.Rel4, next.Rel4)
+	diffPlane(&out, asrel.IPv6, prev.Rel6, next.Rel6)
+	return out
+}
+
+func diffPlane(out *[]Change, af asrel.AF, prev, next *intern.Table) {
+	intern.Diff(prev, next, func(k asrel.LinkKey, from, to asrel.Rel, inPrev, inNext bool) {
+		var kind ChangeKind
+		switch {
+		case !inPrev:
+			kind = LinkAppeared
+		case !inNext:
+			kind = LinkVanished
+		case from != to:
+			kind = ClassFlipped
+		default:
+			return
+		}
+		*out = append(*out, Change{Plane: af, Kind: kind, Key: k, From: from, To: to})
+	})
+}
