@@ -80,6 +80,7 @@ func dump(ctx context.Context, src pipeline.Source, summary bool, out io.Writer)
 	r := mrt.NewReader(&ctxReader{ctx: ctx, r: f})
 	var peers []mrt.Peer
 	counts := map[string]int{}
+	//hybridlint:ignore ctxloop -- cancellation is observed through ctxReader: every Next() polls ctx.Err() on read
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {

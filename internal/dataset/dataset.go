@@ -292,6 +292,7 @@ func CleanPath(raw []asrel.ASN) ([]asrel.ASN, error) {
 // returned slice is the scratch, valid until the next call. Note it
 // works on raw AS numbers: a duplicate observation — the overwhelming
 // steady-state case — never touches the interner.
+//hybridrel:hotpath
 func (d *Dataset) cleanScr(raw []asrel.ASN) ([]asrel.ASN, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("dataset: empty AS path")
@@ -323,7 +324,7 @@ func (d *Dataset) cleanScr(raw []asrel.ASN) ([]asrel.ASN, error) {
 		return p, nil
 	}
 	if d.longSeen == nil {
-		d.longSeen = make(map[asrel.ASN]bool, len(p))
+		d.longSeen = make(map[asrel.ASN]bool, len(p)) //hybridlint:ignore hotalloc -- lazy one-time init of the reused long-path scratch set; cleared, not reallocated, on every later call
 	} else {
 		clear(d.longSeen)
 	}
@@ -339,6 +340,7 @@ func (d *Dataset) cleanScr(raw []asrel.ASN) ([]asrel.ASN, error) {
 // hashASNs mixes a cleaned AS sequence into the dedup table's hash
 // (FNV-1a over the AS numbers with a final avalanche, truncated to the
 // 32 bits the records cache).
+//hybridrel:hotpath
 func hashASNs(p []asrel.ASN) uint32 {
 	h := uint64(1469598103934665603)
 	for _, a := range p {
@@ -353,6 +355,7 @@ func hashASNs(p []asrel.ASN) uint32 {
 
 // pathEq reports whether rec ri's arena sequence spells the AS path p.
 // The id→ASN translation is a slice index, so a probe costs no hashing.
+//hybridrel:hotpath
 func (d *Dataset) pathEq(ri int32, p []asrel.ASN) bool {
 	r := &d.recs[ri]
 	if int(r.end-r.off) != len(p) {
@@ -393,6 +396,7 @@ func (d *Dataset) tabInsert(h uint32, ri int32) {
 // find returns the rec index of the cleaned path, or -1. The cached
 // record hash pre-filters probe collisions so the element-wise path
 // compare runs (essentially) only on the true match.
+//hybridrel:hotpath
 func (d *Dataset) find(h uint32, p []asrel.ASN) int32 {
 	mask := uint64(len(d.tab) - 1)
 	i := uint64(h) & mask
@@ -417,6 +421,7 @@ func (d *Dataset) find(h uint32, p []asrel.ASN) int32 {
 // case at route-collector scale — is one hash over the cleaned AS
 // sequence and one open-addressed probe: no allocation, no interner
 // lookups, no locking.
+//hybridrel:hotpath
 func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Community, locPrf uint32, hasLocPrf bool) error {
 	d.observations++
 	d.mutations++
@@ -445,6 +450,7 @@ func (d *Dataset) AddPath(raw []asrel.ASN, prefix netip.Prefix, comms []bgp.Comm
 // given first-seen attributes when absent. Link accounting is the
 // caller's: AddPath counts links at record creation, the live layer at
 // refcount activation.
+//hybridrel:hotpath
 func (d *Dataset) addRec(p []asrel.ASN, comms []bgp.Community, locPrf uint32, hasLocPrf bool) (idx int32, created bool) {
 	if d.tab == nil || (len(d.recs)+1)*4 > len(d.tab)*3 {
 		d.rehash()

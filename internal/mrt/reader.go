@@ -55,6 +55,7 @@ func (r *Reader) Reset(src io.Reader) {
 // valid until the next readFrame call. start is the byte offset of the
 // record header, for error context. io.EOF is returned clean at the
 // archive end.
+//hybridrel:hotpath
 func (r *Reader) readFrame() (ts uint32, typ, sub uint16, body []byte, start int64, err error) {
 	start = r.offset
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
@@ -89,6 +90,7 @@ func (r *Reader) readFrame() (ts uint32, typ, sub uint16, body []byte, start int
 
 // visitOne decodes the next record into the reader's shared state and
 // hands it to fn. It returns io.EOF clean at the archive end.
+//hybridrel:hotpath
 func (r *Reader) visitOne(fn func(*Record) error) error {
 	ts, typ, sub, body, start, err := r.readFrame()
 	if err != nil {
@@ -117,6 +119,7 @@ func (r *Reader) visitOne(fn func(*Record) error) error {
 //
 // Visit stops at the first decoding error or the first error returned
 // by fn, and returns nil at a clean end of archive.
+//hybridrel:hotpath
 func (r *Reader) Visit(fn func(*Record) error) error {
 	for {
 		err := r.visitOne(fn)

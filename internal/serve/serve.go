@@ -410,6 +410,7 @@ func packKeys(ls []snapshot.Link) []uint64 {
 
 // lookupLink binary-searches a packed key array (sorted, parallel to
 // its snapshot link set) for k.
+//hybridrel:hotpath
 func lookupLink(keys []uint64, ls []snapshot.Link, k asrel.LinkKey) (vis int, ok bool) {
 	i, found := slices.BinarySearch(keys, intern.Pack(k))
 	if !found {
@@ -419,6 +420,7 @@ func lookupLink(keys []uint64, ls []snapshot.Link, k asrel.LinkKey) (vis int, ok
 }
 
 // lookupAS returns the per-AS entry of asn.
+//hybridrel:hotpath
 func (st *state) lookupAS(asn asrel.ASN) (*asEntry, bool) {
 	i, found := slices.BinarySearch(st.asns, asn)
 	if !found {
@@ -429,6 +431,7 @@ func (st *state) lookupAS(asn asrel.ASN) (*asEntry, bool) {
 
 // lookupHybrid returns the index into snap.Hybrids of the hybrid link
 // k, if any.
+//hybridrel:hotpath
 func (st *state) lookupHybrid(k asrel.LinkKey) (int, bool) {
 	i, found := slices.BinarySearch(st.hybKeys, intern.Pack(k))
 	if !found {
@@ -805,7 +808,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	st := s.state.Load()
+	st := s.state.Load() //hybridlint:ignore snapload -- deliberate second resolution: report the generation the reload just swapped in, not the one the request started with
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "reloaded",
 		ASNs:     len(st.asns),

@@ -1,0 +1,3 @@
+module hybridrel/tools/hybridlint
+
+go 1.24

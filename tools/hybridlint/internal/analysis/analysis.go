@@ -1,0 +1,122 @@
+// Package analysis is a minimal, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis surface hybridlint needs: an Analyzer
+// runs over one type-checked package and reports position-anchored
+// diagnostics. The containing environment cannot fetch x/tools, so the
+// framework is built on the standard library's go/ast and go/types
+// alone; the Analyzer/Pass shape is kept deliberately close to the
+// upstream API so analyzers port trivially in either direction.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable
+	// flags, and //hybridlint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass; report receives every diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: report}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// TypeIs reports whether t is (possibly behind pointers) the named type
+// pkgName.typeName, matching by package *name* rather than full import
+// path so analyzers recognize both the real package and the small fake
+// packages the analysistest fixtures declare. Generic instantiations
+// match their origin name (sync/atomic's Pointer[T] is "Pointer").
+func TypeIs(t types.Type, pkgName, typeName string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, type conversions, and dynamic calls through function
+// values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ExprString renders a simple identifier / selector chain ("d.accum",
+// "acc") for tracking a variable across statements. It returns "" for
+// expressions too dynamic to track (calls, indexing, literals).
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return ExprString(e.X)
+	}
+	return ""
+}
+
+// IsTestFilePos reports whether pos falls in a _test.go file. The
+// hybridlint contracts govern production code; drivers drop findings in
+// test files so tests remain free to exercise forbidden shapes.
+func IsTestFilePos(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The ignore escape hatch. A comment of the form
+//
+//	//hybridlint:ignore analyzer[,analyzer...] -- reason
+//
+// suppresses the named analyzers' diagnostics on the same source line,
+// or — when the comment stands alone on a line — on the line directly
+// below it. The reason is mandatory: an ignore without one is itself
+// reported, so every suppression in the tree documents why the
+// contract does not apply at that site.
+
+const ignorePrefix = "//hybridlint:ignore"
+
+// ignoreDirective is one parsed //hybridlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	line      int  // line the comment starts on
+	alone     bool // comment is the only thing on its line
+	analyzers []string
+	hasReason bool
+}
+
+// covers reports whether the directive suppresses analyzer a on line.
+func (d *ignoreDirective) covers(name string, line int) bool {
+	if line != d.line && !(d.alone && line == d.line+1) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == name || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores extracts every ignore directive from the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				d := &ignoreDirective{pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				d.line = p.Line
+				d.alone = p.Column == 1 || onlyWhitespaceBefore(fset, f, c)
+				names, reason, found := strings.Cut(rest, "--")
+				d.hasReason = found && strings.TrimSpace(reason) != ""
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					d.analyzers = append(d.analyzers, n)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// onlyWhitespaceBefore reports whether the comment is preceded only by
+// indentation on its line (a standalone comment line, as opposed to a
+// trailing comment after code).
+func onlyWhitespaceBefore(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// Without the source text, approximate: a trailing comment shares
+	// its line with a node that *starts* earlier on the same line.
+	sameLineCode := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || sameLineCode {
+			return false
+		}
+		if _, isFile := n.(*ast.File); !isFile {
+			p := fset.Position(n.Pos())
+			if p.Line == pos.Line && p.Column < pos.Column {
+				sameLineCode = true
+				return false
+			}
+			// Nodes entirely after the comment's line can't matter.
+			if p.Line > pos.Line {
+				return false
+			}
+		}
+		return true
+	})
+	return !sameLineCode
+}
+
+// FilterIgnored drops diagnostics covered by an ignore directive in the
+// files, and appends one framework diagnostic per malformed directive
+// (missing "-- reason"). Malformed directives do not suppress.
+func FilterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs := parseIgnores(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.hasReason && dir.covers(d.Analyzer, line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.hasReason {
+			out = append(out, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      dir.pos,
+				Message:  "hybridlint:ignore needs a reason: //hybridlint:ignore <analyzer> -- <why the contract does not apply here>",
+			})
+		}
+	}
+	return out
+}

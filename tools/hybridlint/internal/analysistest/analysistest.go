@@ -1,0 +1,206 @@
+// Package analysistest runs an analyzer against fixture packages under
+// a testdata/src tree and checks its diagnostics against // want
+// comments — a dependency-free re-creation of the x/tools harness of
+// the same name.
+//
+// Layout: testdata/src/<importpath>/*.go, GOPATH-style. Fixture
+// imports resolve against the same tree only, so fixtures declare tiny
+// fake dependency packages (a fake "fmt", "atomic", "obs", ...) and
+// stay hermetic: no export data, no network, no stdlib type-checking.
+// The analyzers match dependencies by package name, which is exactly
+// what makes the fakes equivalent to the real thing.
+//
+// Expectations: a comment `// want "re1" "re2"` on any line declares
+// that the analyzer must report diagnostics on that line matching each
+// regexp, and diagnostics on lines without a want comment fail the
+// test. Diagnostics in _test.go fixture files and findings suppressed
+// by //hybridlint:ignore directives are dropped by the shared driver
+// before matching, so the ignore mechanism itself is testable with a
+// violation carrying an ignore comment and no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+	"hybridrel/tools/hybridlint/internal/driver"
+)
+
+// TestData returns the absolute path of the caller's testdata dir.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package and checks a's diagnostics against
+// the // want comments in its files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := driver.Run(&driver.Package{Fset: l.fset, Files: pkg.files, Types: pkg.types, Info: pkg.info}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, pkg.files, diags)
+	}
+}
+
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := driver.NewInfo()
+	tc := &types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return dep.types, nil
+		}),
+	}
+	tpkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	pkg := &loaded{files: files, types: tpkg, info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// checkWants matches diagnostics against // want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			// A second diagnostic may legitimately match an
+			// already-satisfied want (duplicate findings on a line).
+			for _, re := range wants[k] {
+				if re.MatchString(d.Message) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package ctxloop guards the cancellation contract of the long-running
+// loops: a condition-less `for` loop in a function that takes a
+// context.Context must observe that context — a `<-ctx.Done()` receive
+// (typically a select case) or a `ctx.Err()` poll — somewhere in its
+// body, or cancellation can never stop it. The live applier's event
+// loop and the pipeline's worker loops are the loops that motivated
+// the check; the rule applies to any ctx-taking function so new
+// subsystems inherit it for free.
+//
+// Observations inside nested function literals do not count: a
+// goroutine the loop spawns watching ctx does not make the loop itself
+// cancelable. Bounded drains that intentionally outlive cancellation
+// document themselves with //hybridlint:ignore ctxloop -- <reason>.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// Analyzer is the ctxloop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded for loops in context-taking functions must observe ctx.Done()/ctx.Err()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !takesContext(info, typ) {
+				return true
+			}
+			checkLoops(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func takesContext(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && analysis.TypeIs(t, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops finds condition-less for loops directly inside body —
+// loops inside nested function literals belong to that literal's own
+// check (it must take a ctx itself to be checked).
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !observesContext(pass.TypesInfo, loop.Body) {
+			pass.Reportf(loop.Pos(), "unbounded for loop never observes the context: add a <-ctx.Done() select case or a ctx.Err() check so cancellation can stop it")
+		}
+		return true
+	})
+}
+
+// observesContext reports whether the loop body contains <-ctx.Done()
+// or ctx.Err() on a context.Context value, outside nested literals.
+func observesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		// <-ctx.Done() appears as a UnaryExpr receive or a select-case
+		// receive; both wrap the same CallExpr shape.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+			return true
+		}
+		// Any ctx.Done()/ctx.Err() call in the body counts: the only
+		// useful things to do with either — receive, select, poll,
+		// pass onward — observe cancellation or hand it on.
+		if t := info.TypeOf(sel.X); t != nil && analysis.TypeIs(t, "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

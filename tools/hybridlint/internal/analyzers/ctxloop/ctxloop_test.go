@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysistest"
+	"hybridrel/tools/hybridlint/internal/analyzers/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxloop.Analyzer, "a")
+}

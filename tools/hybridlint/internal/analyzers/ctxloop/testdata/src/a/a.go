@@ -1,0 +1,92 @@
+// Fixture for the ctxloop analyzer: condition-less for loops in
+// ctx-taking functions must observe the context in the loop body
+// itself — not from a spawned goroutine, and not at all when the
+// function never received a context.
+package a
+
+import "context"
+
+func work() int { return 0 }
+
+func badNeverObserves(ctx context.Context, ch chan int) {
+	for { // want "never observes the context"
+		select {
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+func goodSelectDone(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+func goodErrPoll(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = work()
+	}
+}
+
+func goodNoContext(ch chan int) {
+	// No ctx parameter: the cancellation contract does not apply.
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+func goodBoundedLoops(ctx context.Context) {
+	// Loops with conditions or ranges are bounded by construction.
+	for i := 0; i < 10; i++ {
+		_ = work()
+	}
+	n := 3
+	for n > 0 {
+		n--
+	}
+}
+
+func badGoroutineObserver(ctx context.Context, ch chan int) {
+	for { // want "never observes the context"
+		go func() {
+			<-ctx.Done() // a spawned watcher does not stop the loop
+		}()
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+func badNestedLiteral(ctx context.Context) func() {
+	// The literal takes its own ctx, so its loop is checked on its own.
+	return func() {
+		inner := context.Background()
+		_ = inner
+		run := func(c context.Context) {
+			for { // want "never observes the context"
+				_ = work()
+			}
+		}
+		run(inner)
+	}
+}
+
+func goodIgnoredDrain(ctx context.Context, ch chan int) {
+	//hybridlint:ignore ctxloop -- bounded drain: the channel is closed by the producer on cancel
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package context is a hermetic stand-in for the real context package:
+// ctxloop matches the Context interface by package name + type name.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type backgroundCtx struct{}
+
+func (backgroundCtx) Done() <-chan struct{} { return nil }
+func (backgroundCtx) Err() error            { return nil }
+
+func Background() Context { return backgroundCtx{} }

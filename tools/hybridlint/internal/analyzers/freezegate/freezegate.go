@@ -1,0 +1,135 @@
+// Package freezegate enforces the freeze-before-query contract of the
+// interned flat tables: freezing is the boundary after which an
+// accumulator must not accumulate again.
+//
+//   - intern.TableBuilder: Table() finalizes the builder; any Append,
+//     Grow, or second Table() on the same variable afterwards is a
+//     use-after-freeze (the builder documents "must not be used
+//     afterwards").
+//   - intern.CountsAccum: Add after Freeze() is flagged unless a
+//     Reset() intervenes — Freeze/Reset/Add is the sanctioned
+//     fold-accumulate cycle of the live ingest cadence, while
+//     Freeze-then-Add silently diverges the frozen Counts from the
+//     accumulator (the frozen copy no longer reflects what the caller
+//     keeps mutating).
+//
+// The check is flow-insensitive within one function body: events on
+// the same tracked variable are ordered by source position. Matching
+// is by receiver type name (CountsAccum / TableBuilder in a package
+// named "intern"), so the analysistest fixtures can declare fakes.
+package freezegate
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// Analyzer is the freezegate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "freezegate",
+	Doc:  "no accumulation into CountsAccum/TableBuilder after Freeze()/Table() without a Reset",
+	Run:  run,
+}
+
+type eventKind int
+
+const (
+	evAccum eventKind = iota
+	evFreeze
+	evReset
+)
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	method string
+	// resettable: CountsAccum supports Reset rearming; TableBuilder
+	// does not, and double-freeze is also illegal for it.
+	resettable bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	events := make(map[string][]event)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := info.TypeOf(sel.X)
+		if recv == nil {
+			return true
+		}
+		key := analysis.ExprString(sel.X)
+		if key == "" {
+			return true // dynamic receiver; cannot track
+		}
+		switch {
+		case analysis.TypeIs(recv, "intern", "CountsAccum"):
+			switch sel.Sel.Name {
+			case "Add":
+				events[key] = append(events[key], event{evAccum, call.Pos(), "Add", true})
+			case "Freeze":
+				events[key] = append(events[key], event{evFreeze, call.Pos(), "Freeze", true})
+			case "Reset":
+				events[key] = append(events[key], event{evReset, call.Pos(), "Reset", true})
+			}
+		case analysis.TypeIs(recv, "intern", "TableBuilder"):
+			switch sel.Sel.Name {
+			case "Append", "Grow":
+				events[key] = append(events[key], event{evAccum, call.Pos(), sel.Sel.Name, false})
+			case "Table":
+				events[key] = append(events[key], event{evFreeze, call.Pos(), "Table", false})
+			}
+		}
+		return true
+	})
+
+	for key, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		var frozenAt token.Pos // position of the governing freeze, or NoPos
+		var frozenMethod string
+		for _, ev := range evs {
+			switch ev.kind {
+			case evFreeze:
+				if frozenAt != token.NoPos && !ev.resettable {
+					pass.Reportf(ev.pos, "%s.%s() after %s() at %s: the builder is frozen and must not be reused",
+						key, ev.method, frozenMethod, pass.Fset.Position(frozenAt))
+				}
+				frozenAt, frozenMethod = ev.pos, ev.method
+			case evReset:
+				frozenAt = token.NoPos
+			case evAccum:
+				if frozenAt != token.NoPos {
+					if ev.resettable {
+						pass.Reportf(ev.pos, "%s.%s() after %s() at %s without an intervening Reset(): accumulation after freeze diverges the frozen copy",
+							key, ev.method, frozenMethod, pass.Fset.Position(frozenAt))
+					} else {
+						pass.Reportf(ev.pos, "%s.%s() after %s() at %s: the builder is frozen and must not be reused",
+							key, ev.method, frozenMethod, pass.Fset.Position(frozenAt))
+					}
+				}
+			}
+		}
+	}
+}

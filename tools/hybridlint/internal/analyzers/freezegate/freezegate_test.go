@@ -1,0 +1,12 @@
+package freezegate_test
+
+import (
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysistest"
+	"hybridrel/tools/hybridlint/internal/analyzers/freezegate"
+)
+
+func TestFreezegate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), freezegate.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+// Fixture for the freezegate analyzer: accumulate-after-freeze on
+// CountsAccum (unless Reset rearms), any reuse of a finalized
+// TableBuilder, and the guards that keep distinct variables and
+// sanctioned fold cycles unflagged.
+package a
+
+import "intern"
+
+type holder struct {
+	accum intern.CountsAccum
+}
+
+func badAddAfterFreeze(acc *intern.CountsAccum) intern.Counts {
+	acc.Add(1, 1)
+	frozen := acc.Freeze()
+	acc.Add(2, 1) // want "Add.. after Freeze"
+	return frozen
+}
+
+func goodFoldCycle(acc *intern.CountsAccum) []intern.Counts {
+	// Freeze/Reset/Add is the live-ingest fold cadence: legal.
+	var out []intern.Counts
+	acc.Add(1, 1)
+	out = append(out, acc.Freeze())
+	acc.Reset()
+	acc.Add(2, 1)
+	out = append(out, acc.Freeze())
+	return out
+}
+
+func goodDistinctVars(a1, a2 *intern.CountsAccum) intern.Counts {
+	// Freezing one accumulator does not freeze the other.
+	frozen := a1.Freeze()
+	a2.Add(1, 1)
+	return frozen
+}
+
+func badFieldReceiver(h *holder) intern.Counts {
+	// Tracking works through selector chains, not just plain idents.
+	frozen := h.accum.Freeze()
+	h.accum.Add(3, 1) // want "Add.. after Freeze"
+	return frozen
+}
+
+func badBuilderReuse() *intern.Table {
+	var b intern.TableBuilder
+	b.Grow(4)
+	b.Append("x")
+	t := b.Table()
+	b.Append("y") // want "must not be reused"
+	return t
+}
+
+func badDoubleTable() (*intern.Table, *intern.Table) {
+	var b intern.TableBuilder
+	b.Append("x")
+	t1 := b.Table()
+	t2 := b.Table() // want "must not be reused"
+	return t1, t2
+}
+
+func goodBuilder() *intern.Table {
+	var b intern.TableBuilder
+	b.Grow(2)
+	b.Append("x")
+	b.Append("y")
+	return b.Table()
+}
+
+func goodSeparateBuilders() (*intern.Table, *intern.Table) {
+	var b1, b2 intern.TableBuilder
+	b1.Append("x")
+	t1 := b1.Table()
+	b2.Append("y") // different builder: legal after b1 finalized
+	return t1, b2.Table()
+}

@@ -1,0 +1,20 @@
+// Package intern is a hermetic stand-in for the repo's internal/intern:
+// freezegate matches CountsAccum and TableBuilder by package name +
+// type name, so only the method sets need to line up.
+package intern
+
+type Counts struct{ n int }
+
+type CountsAccum struct{ n int }
+
+func (a *CountsAccum) Add(key uint64, delta uint32) {}
+func (a *CountsAccum) Freeze() Counts               { return Counts{a.n} }
+func (a *CountsAccum) Reset()                       {}
+
+type Table struct{ n int }
+
+type TableBuilder struct{ n int }
+
+func (b *TableBuilder) Grow(n int)            {}
+func (b *TableBuilder) Append(s string) uint32 { return 0 }
+func (b *TableBuilder) Table() *Table          { return &Table{b.n} }

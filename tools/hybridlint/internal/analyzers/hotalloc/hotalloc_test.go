@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysistest"
+	"hybridrel/tools/hybridlint/internal/analyzers/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "a", "ignore")
+}

@@ -1,0 +1,76 @@
+// Fixture for the hotalloc analyzer: every forbidden construct inside
+// an annotated function, and the same constructs unflagged in a cold
+// function and in the sanctioned shapes.
+package a
+
+import "fmt"
+
+type rec struct {
+	name string
+	n    int
+}
+
+//hybridrel:hotpath
+func hotViolations(name string, b []byte, n int) string {
+	m := make(map[int]int) // want "allocates a map with make"
+	m[1] = 1
+	lit := map[string]int{"x": 1} // want "allocates a map literal"
+	_ = lit
+	sl := []int{1, 2, 3} // want "allocates a slice literal"
+	_ = sl
+	s := "pfx" + name // want "concatenates strings"
+	s += name         // want "concatenates strings"
+	_ = string(b)     // want "rune to string .allocates a copy."
+	_ = []byte(name)  // want "converts string to"
+	_ = fmt.Sprintf("%d", n)        // want "calls fmt.Sprintf"
+	err := fmt.Errorf("not a ret")  // want "calls fmt.Errorf"
+	_ = err
+	f := func() int { return n } // want "closure captures \"n\""
+	_ = f()
+	return s
+}
+
+//hybridrel:hotpath
+func hotLegal(dst []int, src []int, n int) ([]int, error) {
+	// append, slice/chan make, struct literals, new, and constant
+	// string expressions are all sanctioned on the hot path.
+	dst = append(dst, src...)
+	scratch := make([]byte, n)
+	_ = scratch
+	ch := make(chan int, 1)
+	_ = ch
+	r := rec{name: "fixed", n: n}
+	_ = r
+	p := new(rec)
+	_ = p
+	const s = "a" + "b" // constant concat folds at compile time
+	_ = s
+	if n < 0 {
+		return nil, fmt.Errorf("negative count %d", n) // Errorf in return: cold-path exit
+	}
+	free := func(x int) int { return x + 1 } // capture-free literal: no closure allocation
+	_ = free(1)
+	return dst, nil
+}
+
+// coldPath has no annotation: the same constructs are all legal.
+func coldPath(name string, b []byte) string {
+	m := make(map[int]int)
+	m[1] = 1
+	s := "pfx" + name
+	s += string(b)
+	return fmt.Sprintf("%s", s)
+}
+
+type num int
+
+func (v num) String() string { return "" }
+
+func (v num) wrapped() string { return "" }
+
+//hybridrel:hotpath
+func hotMethodCallsOK(v num) string {
+	// Method calls named like fmt functions on non-fmt receivers are
+	// not fmt calls.
+	return v.String()
+}

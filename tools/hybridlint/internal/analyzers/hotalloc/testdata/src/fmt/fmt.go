@@ -1,0 +1,13 @@
+// Package fmt is a hermetic stand-in for the real fmt: hotalloc
+// matches calls by package name, so the fixture packages can import
+// this fake and stay offline (no stdlib export data needed).
+package fmt
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func Errorf(format string, args ...any) error         { return errorString(format) }
+func Sprintf(format string, args ...any) string       { return format }
+func Println(args ...any) (int, error)                { return 0, nil }
+func Fprintf(w any, format string, args ...any) error { return nil }

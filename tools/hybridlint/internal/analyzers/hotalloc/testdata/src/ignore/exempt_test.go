@@ -1,0 +1,11 @@
+// Violations in _test.go files are dropped by the driver: tests are
+// free to exercise forbidden shapes. No want comments here — any
+// diagnostic from this file fails the harness.
+package ignore
+
+//hybridrel:hotpath
+func testOnlyViolations(name string) string {
+	m := make(map[string]int)
+	m[name] = 1
+	return "pfx" + name
+}

@@ -1,0 +1,36 @@
+// Fixture for the //hybridlint:ignore mechanism, exercised through
+// hotalloc: trailing and standalone placement, the mandatory reason,
+// and the non-suppression cases (wrong analyzer, missing reason).
+package ignore
+
+//hybridrel:hotpath
+func suppressed(n int) {
+	m := make(map[int]int) //hybridlint:ignore hotalloc -- lazy init, amortized over the run
+	m[n] = n
+
+	//hybridlint:ignore hotalloc -- standalone directive covers the next line
+	m2 := make(map[int]int)
+	m2[n] = n
+}
+
+//hybridrel:hotpath
+func wrongAnalyzer(n int) {
+	m := make(map[int]int) //hybridlint:ignore ctxloop -- names the wrong analyzer // want "allocates a map"
+	m[n] = n
+}
+
+//hybridrel:hotpath
+func missingReason(n int) {
+	//hybridlint:ignore hotalloc // want "needs a reason"
+	m := make(map[int]int) // want "allocates a map"
+	m[n] = n
+}
+
+//hybridrel:hotpath
+func notAdjacent(n int) {
+	//hybridlint:ignore hotalloc -- only covers the line directly below
+	_ = n
+
+	m := make(map[int]int) // want "allocates a map"
+	m[n] = n
+}

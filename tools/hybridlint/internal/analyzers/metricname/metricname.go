@@ -1,0 +1,96 @@
+// Package metricname keeps the Prometheus exposition — and the strict
+// parser internal/obs ships for it — from drifting: every series name
+// reaching an obs.Registry registration call (Counter, Gauge,
+// GaugeFunc, Histogram) must be a compile-time constant string that
+// matches the exposition-format name charset [a-zA-Z_:][a-zA-Z0-9_:]*
+// and carries one of the sanctioned namespace prefixes (hybridrel_ for
+// the system's own series, go_ for the runtime gauges). A runtime-
+// computed name would silently bypass the charset and collide-or-drift
+// at scrape time, which the duplicate-series panic in obs cannot catch
+// at registration.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// Analyzer is the metricname check. Prefixes is the sanctioned
+// namespace allowlist, overridable via the -metricprefixes flag.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs.Registry series names must be constant, charset-clean, and namespaced",
+	Run:  run,
+}
+
+// Prefixes holds the allowed name prefixes (comma-separated via flag).
+var Prefixes = []string{"hybridrel_", "go_"}
+
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] {
+				return true
+			}
+			if recv := info.TypeOf(sel.X); recv == nil || !analysis.TypeIs(recv, "obs", "Registry") {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric name must be a compile-time constant string (the exposition parser contract cannot be checked for runtime-built names)")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !validName(name) {
+				pass.Reportf(arg.Pos(), "metric name %q violates the Prometheus exposition charset [a-zA-Z_:][a-zA-Z0-9_:]*", name)
+				return true
+			}
+			if !allowedPrefix(name) {
+				pass.Reportf(arg.Pos(), "metric name %q is outside the sanctioned namespaces (%s)", name, strings.Join(Prefixes, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func allowedPrefix(s string) bool {
+	for _, p := range Prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysistest"
+	"hybridrel/tools/hybridlint/internal/analyzers/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Fixture for the metricname analyzer: constant, charset-clean,
+// namespaced names pass; runtime-built, malformed, or out-of-namespace
+// names are flagged. Only obs.Registry receivers are in scope.
+package a
+
+import "obs"
+
+const prefixed = "hybridrel_updates_total"
+
+// Registry is a decoy with the same method name but a different type:
+// out of scope for the analyzer.
+type Registry struct{}
+
+func (Registry) Counter(name, help string) {}
+
+func register(r *obs.Registry, suffix string) {
+	r.Counter("hybridrel_requests_total", "requests served")
+	r.Gauge("go_goroutines", "runtime gauge namespace")
+	r.Counter(prefixed, "constant via named const")
+	r.Counter("hybridrel_"+"joined_total", "constant concatenation folds")
+	r.GaugeFunc("hybridrel_snapshot_gen", "gen", func() float64 { return 0 })
+	r.Histogram("hybridrel_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	r.Counter("hybridrel_"+suffix, "runtime-built")  // want "compile-time constant string"
+	r.Gauge("hybridrel_bad-name", "bad charset")     // want "exposition charset"
+	r.Gauge("1hybridrel_leading_digit", "bad start") // want "exposition charset"
+	r.Counter("custom_thing_total", "no namespace")  // want "sanctioned namespaces"
+
+	var decoy Registry
+	decoy.Counter("whatever goes", "not an obs.Registry")
+}

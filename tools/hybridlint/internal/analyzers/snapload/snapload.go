@@ -1,0 +1,137 @@
+// Package snapload enforces the lock-free snapshot read contract: an
+// HTTP handler must resolve the served snapshot exactly once per
+// request — one atomic.Pointer Load (direct, or through one package
+// helper such as loadedState/stateAt) — and thread the resulting local
+// through the rest of the request. Two Loads in one request scope can
+// observe different generations across a concurrent hot swap and tear
+// the response, exactly the bug class the snapshot history ring made
+// more likely.
+//
+// Detection is interprocedural within the package: any function whose
+// body performs an atomic.Pointer Load — or calls a same-package
+// function that does — counts as a snapshot load site. A handler
+// (func(http.ResponseWriter, *http.Request), free or method) may
+// contain at most one load site. The deliberate second Load in a
+// reload handler is suppressed with
+// //hybridlint:ignore snapload -- <reason>.
+package snapload
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// Analyzer is the snapload check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapload",
+	Doc:  "HTTP handlers must Load the snapshot atomic.Pointer at most once per request",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Collect every function declaration in the package.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// directLoads: positions of atomic.Pointer .Load() calls per function.
+	directLoads := make(map[*types.Func][]token.Pos)
+	// calls: same-package static call graph.
+	calls := make(map[*types.Func]map[*types.Func][]token.Pos)
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" {
+				if recv := info.TypeOf(sel.X); recv != nil && analysis.TypeIs(recv, "atomic", "Pointer") {
+					directLoads[obj] = append(directLoads[obj], call.Pos())
+					return true
+				}
+			}
+			if callee := analysis.CalleeFunc(info, call); callee != nil && callee.Pkg() == pass.Pkg {
+				if calls[obj] == nil {
+					calls[obj] = make(map[*types.Func][]token.Pos)
+				}
+				calls[obj][callee] = append(calls[obj][callee], call.Pos())
+			}
+			return true
+		})
+	}
+
+	// loader fixpoint: a function is a loader if it Loads directly or
+	// calls a same-package loader.
+	loader := make(map[*types.Func]bool)
+	for fn := range directLoads {
+		loader[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if loader[fn] {
+				continue
+			}
+			for callee := range callees {
+				if loader[callee] {
+					loader[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj := range decls {
+		if !isHandler(obj) {
+			continue
+		}
+		sites := append([]token.Pos(nil), directLoads[obj]...)
+		for callee, positions := range calls[obj] {
+			if callee != obj && loader[callee] {
+				sites = append(sites, positions...)
+			}
+		}
+		if len(sites) < 2 {
+			continue
+		}
+		// Report every site past the first in source order.
+		sortPos(sites)
+		for _, pos := range sites[1:] {
+			pass.Reportf(pos, "handler resolves the snapshot %d times (first at %s); Load once and thread the local through the request",
+				len(sites), pass.Fset.Position(sites[0]))
+		}
+	}
+	return nil
+}
+
+// isHandler matches func(w http.ResponseWriter, r *http.Request) by
+// parameter types (package *name* "http" so fixture fakes match too).
+func isHandler(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	return analysis.TypeIs(sig.Params().At(0).Type(), "http", "ResponseWriter") &&
+		analysis.TypeIs(sig.Params().At(1).Type(), "http", "Request")
+}
+
+func sortPos(ps []token.Pos) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

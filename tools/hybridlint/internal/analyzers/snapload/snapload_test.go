@@ -1,0 +1,12 @@
+package snapload_test
+
+import (
+	"testing"
+
+	"hybridrel/tools/hybridlint/internal/analysistest"
+	"hybridrel/tools/hybridlint/internal/analyzers/snapload"
+)
+
+func TestSnapload(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapload.Analyzer, "a")
+}

@@ -1,0 +1,102 @@
+// Fixture for the snapload analyzer: handlers resolving the snapshot
+// zero or one times pass; a second resolution — direct Load, repeated
+// helper call, or mixed — is flagged at the later site.
+package a
+
+import (
+	"atomic"
+	"http"
+)
+
+type state struct {
+	gen int
+}
+
+type server struct {
+	state atomic.Pointer[state]
+}
+
+// loadedState is a loader: it Loads directly.
+func (s *server) loadedState() *state {
+	return s.state.Load()
+}
+
+// stateAt is a loader one hop removed: it calls loadedState.
+func (s *server) stateAt(gen int) *state {
+	st := s.loadedState()
+	if st.gen != gen {
+		return nil
+	}
+	return st
+}
+
+// describe is NOT a loader: it never touches the pointer.
+func describe(st *state) int {
+	if st == nil {
+		return -1
+	}
+	return st.gen
+}
+
+// goodDirect resolves once, directly.
+func (s *server) goodDirect(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	_ = describe(st)
+	_ = describe(st)
+}
+
+// goodHelper resolves once through a helper, then threads the local.
+func (s *server) goodHelper(w http.ResponseWriter, r *http.Request) {
+	st := s.stateAt(3)
+	_ = describe(st)
+}
+
+// badDouble Loads twice directly.
+func (s *server) badDouble(w http.ResponseWriter, r *http.Request) {
+	a := s.state.Load()
+	_ = describe(a)
+	b := s.state.Load() // want "resolves the snapshot 2 times"
+	_ = describe(b)
+}
+
+// badHelperTwice calls a loader helper twice.
+func (s *server) badHelperTwice(w http.ResponseWriter, r *http.Request) {
+	a := s.loadedState()
+	b := s.loadedState() // want "resolves the snapshot 2 times"
+	_ = describe(a)
+	_ = describe(b)
+}
+
+// badMixed mixes a direct Load with a transitive-loader call.
+func (s *server) badMixed(w http.ResponseWriter, r *http.Request) {
+	a := s.state.Load()
+	_ = describe(a)
+	b := s.stateAt(1) // want "resolves the snapshot 2 times"
+	_ = describe(b)
+}
+
+// reload deliberately resolves twice (swap then re-read); the ignore
+// directive with a reason suppresses the finding.
+func (s *server) reload(w http.ResponseWriter, r *http.Request) {
+	old := s.state.Load()
+	s.state.Store(&state{gen: old.gen + 1})
+	st := s.state.Load() //hybridlint:ignore snapload -- second Load is deliberate: report the freshly swapped generation
+	_ = describe(st)
+}
+
+// notAHandler has the wrong shape: two Loads are fine outside the
+// per-request contract.
+func (s *server) notAHandler(gen int) int {
+	a := s.state.Load()
+	b := s.state.Load()
+	return a.gen + b.gen
+}
+
+// freeHandler is a free function handler; calling a non-loader any
+// number of times stays legal next to one real resolution.
+func freeHandler(w http.ResponseWriter, r *http.Request) {
+	var srv server
+	st := srv.loadedState()
+	_ = describe(st)
+	_ = describe(st)
+}

@@ -1,0 +1,8 @@
+// Package atomic is a hermetic stand-in for sync/atomic: snapload
+// matches the Pointer type by package name + type name.
+package atomic
+
+type Pointer[T any] struct{ v *T }
+
+func (p *Pointer[T]) Load() *T   { return p.v }
+func (p *Pointer[T]) Store(v *T) { p.v = v }

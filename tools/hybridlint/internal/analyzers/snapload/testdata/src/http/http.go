@@ -1,0 +1,11 @@
+// Package http is a hermetic stand-in for net/http: snapload matches
+// handler signatures by package name + type name.
+package http
+
+type ResponseWriter interface {
+	Write(p []byte) (int, error)
+}
+
+type Request struct {
+	URL string
+}

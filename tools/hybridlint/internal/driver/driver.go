@@ -1,0 +1,80 @@
+// Package driver runs hybridlint analyzers over type-checked packages.
+// It has three front ends sharing one core: the go vet -vettool unit
+// protocol (unit.go), a `go list -export`-based standalone loader
+// (standalone.go), and the analysistest harness used by the analyzers'
+// own tests.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run executes the analyzers against pkg and returns the surviving
+// diagnostics: findings in _test.go files are dropped (the contracts
+// govern production code), //hybridlint:ignore directives with reasons
+// suppress their targets, and malformed ignores are reported. The
+// result is sorted by position for deterministic output.
+func Run(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+			if !analysis.IsTestFilePos(pkg.Fset, d.Pos) {
+				diags = append(diags, d)
+			}
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	diags = analysis.FilterIgnored(pkg.Fset, pkg.Files, diags)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !analysis.IsTestFilePos(pkg.Fset, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// Format renders one diagnostic the way go vet presents findings.
+func Format(fset *token.FileSet, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

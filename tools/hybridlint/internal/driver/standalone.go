@@ -1,0 +1,134 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"hybridrel/tools/hybridlint/internal/analysis"
+)
+
+// The standalone front end: `hybridlint ./...` without go vet plumbing.
+// It shells out to `go list -export -deps -json`, which compiles export
+// data for every dependency into the build cache (entirely offline),
+// then type-checks each target package against that export data and
+// runs the analyzers. Test files are not loaded in this mode; the
+// analyzers skip _test.go findings anyway, so coverage matches the
+// go vet -vettool path.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+}
+
+// RunStandalone analyzes the packages matching patterns (default
+// "./...") and returns the process exit code: 0 clean, 1 hard error,
+// 2 findings.
+func RunStandalone(patterns []string, analyzers []*analysis.Analyzer, out io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(out, "hybridlint: go list: %v\n%s", err, stderr.String())
+		return 1
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(out, "hybridlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	findings := 0
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 || len(p.CgoFiles) > 0 {
+			continue
+		}
+		n, err := analyzeListed(p, exports, analyzers, out)
+		if err != nil {
+			fmt.Fprintf(out, "hybridlint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		findings += n
+	}
+	if findings > 0 {
+		return 2
+	}
+	return 0
+}
+
+func analyzeListed(p *listPkg, exports map[string]string, analyzers []*analysis.Analyzer, out io.Writer) (int, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return 0, fmt.Errorf("typecheck: %v", err)
+	}
+	diags, err := Run(&Package{Fset: fset, Files: files, Types: pkg, Info: info}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, Format(fset, d))
+	}
+	return len(diags), nil
+}
