@@ -23,8 +23,11 @@
 // products in both the interned and the legacy map representation, the
 // snapshot codec, and the serving layer's per-AS and per-link
 // endpoints (the latter bare and fully instrumented, bounding the
-// observability middleware's overhead). Results are
-// written to -benchout (BENCH_PR7.json by default) — the perf
+// observability middleware's overhead), plus the Internet-scale
+// section: the sharded world generator at the 600 and 10k tiers and
+// the snapshot load modes over those worlds (v1 streaming decode vs
+// format-v2 mmap), with the mmap load gated tier-independent. Results
+// are written to -benchout (BENCH_PR10.json by default) — the perf
 // trajectory CI uploads on every change — and printed as a table (or
 // to stdout as JSON with -json). -benchtime accepts a duration or
 // "1x" for the single-iteration CI smoke mode. -benchbaseline diffs
@@ -34,8 +37,8 @@
 // Usage:
 //
 //	experiments [-scale small|default] [-seed N] [-top N] [-parallel N] [-exact] [-json]
-//	experiments -scenarios [-tier short|full] [-parallel N] [-json]
-//	experiments -bench [-tier short|full] [-scenario name] [-benchtime 1s|1x] [-benchout file] [-benchbaseline file] [-json]
+//	experiments -scenarios [-tier short|full|10k] [-parallel N] [-json]
+//	experiments -bench [-tier short|full|10k] [-scenario name] [-benchtime 1s|1x] [-benchout file] [-benchbaseline file] [-json]
 package main
 
 import (
@@ -79,10 +82,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "pipeline workers (0 = all cores)")
 		jsonOut   = fs.Bool("json", false, "print machine-readable JSON instead of tables")
 		scenarios = fs.Bool("scenarios", false, "run the scenario validation matrix instead of the paper tables")
-		tier      = fs.String("tier", "short", "scenario matrix / benchmark tier: short | full")
+		tier      = fs.String("tier", "short", "scenario matrix / benchmark tier: short | full | 10k")
 		bench     = fs.Bool("bench", false, "run the hot-path benchmark suite instead of the paper tables")
 		benchTime = fs.String("benchtime", "1s", "per-benchmark time budget (duration, or 1x for one iteration)")
-		benchOut  = fs.String("benchout", "BENCH_PR7.json", "file the benchmark report is written to")
+		benchOut  = fs.String("benchout", "BENCH_PR10.json", "file the benchmark report is written to")
 		benchBase = fs.String("benchbaseline", "", "committed baseline report to diff against; exit non-zero on a >2x ns/op regression")
 		scName    = fs.String("scenario", "tunnel-heavy", "scenario family the benchmarks run against")
 	)
@@ -165,8 +168,10 @@ func parseTier(tier string) (scenario.Tier, error) {
 		return scenario.TierShort, nil
 	case "full":
 		return scenario.TierFull, nil
+	case "10k":
+		return scenario.Tier10k, nil
 	}
-	return 0, fmt.Errorf("unknown -tier %q (want short or full)", tier)
+	return 0, fmt.Errorf("unknown -tier %q (want short, full or 10k)", tier)
 }
 
 // runBench executes the benchmark suite and writes the report to
@@ -271,14 +276,9 @@ func runBench(ctx context.Context, tier, scName, benchTime, benchOut, benchBase 
 // or tables. Failed invariants surface as a non-nil error after the
 // full report is written.
 func runScenarios(ctx context.Context, tier string, parallel int, jsonOut bool, stdout io.Writer, logger *log.Logger) error {
-	var t scenario.Tier
-	switch tier {
-	case "short":
-		t = scenario.TierShort
-	case "full":
-		t = scenario.TierFull
-	default:
-		return fmt.Errorf("unknown -tier %q (want short or full)", tier)
+	t, err := parseTier(tier)
+	if err != nil {
+		return err
 	}
 	start := time.Now()
 	scs := scenario.Matrix()

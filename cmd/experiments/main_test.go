@@ -98,13 +98,16 @@ func TestRunBenchSmoke(t *testing.T) {
 		"snapshot/encode", "snapshot/decode", "serve/as",
 		"infer/full", "infer/incremental",
 		"serve/rel", "serve/rel-instrumented",
+		"scale/gen-600", "scale/gen-10k",
+		"snapshot/load-v1-600", "snapshot/load-mmap-600",
+		"snapshot/load-v1-10k", "snapshot/load-mmap-10k",
 	} {
 		if !names[want] {
 			t.Errorf("benchmark %s missing from the suite", want)
 		}
 	}
-	if len(rep.Comparisons) != 5 {
-		t.Fatalf("got %d comparisons, want 5 (join, inference, dedup, live-infer, serve-obs)", len(rep.Comparisons))
+	if len(rep.Comparisons) != 7 {
+		t.Fatalf("got %d comparisons, want 7 (join, inference, dedup, live-infer, serve-obs, mmap-load, mmap-tier)", len(rep.Comparisons))
 	}
 	if rep.Scenario != "tunnel-heavy" || rep.World.DualStack == 0 {
 		t.Errorf("report world looks wrong: %+v", rep.World)

@@ -3,7 +3,11 @@
 //
 //   - an exported snapshot file (-snapshot out.bin), the production
 //     path: the batch pipeline (hybridscan -export) produces the
-//     artifact, hybridserve loads and indexes it;
+//     artifact, hybridserve loads and indexes it; with -mmap a
+//     format-v2 artifact (hybridscan -export-v2) is memory-mapped and
+//     served in place — load time independent of snapshot size, and
+//     hot reloads unmap a retired generation only after its last
+//     in-flight reader finishes;
 //   - raw measurement data (-irr, -v4, -v6), running the v2 pipeline
 //     once at startup and serving the result;
 //   - a synthetic world (-synth small|default), handy for demos and
@@ -46,7 +50,7 @@
 //
 // Usage:
 //
-//	hybridserve -snapshot out.bin [-addr :8080]
+//	hybridserve -snapshot out.bin [-mmap] [-addr :8080]
 //	hybridserve -irr irr.db -v4 ribs4/ -v6 ribs6/ [-addr :8080] [-parallel N]
 //	hybridserve -synth small [-addr :8080]
 //	hybridserve -live small [-addr :8080] [-live-rate 200] [-live-every 256] [-live-interval 2s]
@@ -99,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		snapPath   = fs.String("snapshot", "", "serve an exported snapshot file")
+		mmapOn     = fs.Bool("mmap", false, "memory-map the -snapshot file instead of decoding it (requires a format-v2 artifact; load time independent of size)")
 		irrPath    = fs.String("irr", "", "IRR database (RPSL), pipeline mode")
 		v4List     = fs.String("v4", "", "comma-separated IPv4 MRT archives or directories, pipeline mode")
 		v6List     = fs.String("v6", "", "comma-separated IPv6 MRT archives or directories, pipeline mode")
@@ -175,7 +180,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}, logger)
 	}
 
-	load, err := loader(*snapPath, *irrPath, *v4List, *v6List, *synth, *parallel,
+	if *mmapOn && *snapPath == "" {
+		fmt.Fprintln(stderr, "hybridserve: -mmap needs -snapshot")
+		return cli.ErrUsage
+	}
+	load, err := loader(*snapPath, *mmapOn, *irrPath, *v4List, *v6List, *synth, *parallel,
 		hybridrel.NewPipelineMetrics(reg))
 	if err != nil {
 		fmt.Fprintf(stderr, "hybridserve: %v\n", err)
@@ -215,9 +224,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 				logger.Printf("reload failed (still serving previous snapshot): %v", err)
 				continue
 			}
-			s := srv.Snapshot()
-			logger.Printf("reloaded: %d hybrids, %d IPv4 links, %d IPv6 links",
-				len(s.Hybrids), len(s.Links4), len(s.Links6))
+			// Summary, not Snapshot(): with -mmap a borrowed snapshot
+			// could be unmapped by a racing reload mid-read.
+			_, l4, l6, hyb, _ := srv.Summary()
+			logger.Printf("reloaded: %d hybrids, %d IPv4 links, %d IPv6 links", hyb, l4, l6)
 		}
 	}()
 
@@ -556,7 +566,7 @@ func runLiveMRT(lo liveOptions, logger *log.Logger) error {
 // loader builds the snapshot source for the selected mode; the same
 // function serves the initial load and every hot reload, folding each
 // pipeline run's ingest tallies into pm.
-func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int, pm *hybridrel.PipelineMetrics) (serve.LoadFunc, error) {
+func loader(snapPath string, mmapOn bool, irrPath, v4List, v6List, synth string, parallel int, pm *hybridrel.PipelineMetrics) (serve.LoadFunc, error) {
 	modes := 0
 	for _, on := range []bool{snapPath != "", v4List != "" || v6List != "" || irrPath != "", synth != ""} {
 		if on {
@@ -569,6 +579,14 @@ func loader(snapPath, irrPath, v4List, v6List, synth string, parallel int, pm *h
 
 	switch {
 	case snapPath != "":
+		if mmapOn {
+			// Map instead of decode: the serving layer refcounts mapped
+			// snapshots, so hot reloads unmap a retired generation only
+			// after its last reader finishes.
+			return func(context.Context) (*hybridrel.Snapshot, error) {
+				return hybridrel.MapSnapshot(snapPath)
+			}, nil
+		}
 		return func(context.Context) (*hybridrel.Snapshot, error) {
 			return hybridrel.OpenSnapshot(snapPath)
 		}, nil

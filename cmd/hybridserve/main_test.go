@@ -26,12 +26,15 @@ import (
 	"hybridrel/internal/bgpsim"
 	"hybridrel/internal/cli"
 	"hybridrel/internal/community"
+	"hybridrel/internal/core"
 	"hybridrel/internal/gen"
 	"hybridrel/internal/live"
 	"hybridrel/internal/mrt"
 	"hybridrel/internal/obs"
 	"hybridrel/internal/rpsl"
 	"hybridrel/internal/serve"
+	"hybridrel/internal/snapshot"
+	"hybridrel/internal/testutil"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -73,19 +76,19 @@ func TestRunBadInput(t *testing.T) {
 func TestLoaderModes(t *testing.T) {
 	// The loader is the mode selector; every valid mode yields a
 	// LoadFunc and every invalid combination an error.
-	if _, err := loader("", "", "", "", "", 0, nil); err == nil {
+	if _, err := loader("", false, "", "", "", "", 0, nil); err == nil {
 		t.Error("no mode accepted")
 	}
-	if _, err := loader("a.bin", "", "", "", "small", 0, nil); err == nil {
+	if _, err := loader("a.bin", false, "", "", "", "small", 0, nil); err == nil {
 		t.Error("two modes accepted")
 	}
-	if _, err := loader("", "irr.db", "", "", "", 0, nil); err == nil {
+	if _, err := loader("", false, "irr.db", "", "", "", 0, nil); err == nil {
 		t.Error("pipeline mode without archives accepted")
 	}
-	if _, err := loader("", "", "", "", "galactic", 0, nil); err == nil {
+	if _, err := loader("", false, "", "", "", "galactic", 0, nil); err == nil {
 		t.Error("unknown synth scale accepted")
 	}
-	load, err := loader("a.bin", "", "", "", "", 0, nil)
+	load, err := loader("a.bin", false, "", "", "", "", 0, nil)
 	if err != nil || load == nil {
 		t.Fatalf("snapshot mode: %v", err)
 	}
@@ -546,5 +549,106 @@ func TestLiveMRTChangesEndToEnd(t *testing.T) {
 		}
 	case <-time.After(90 * time.Second):
 		t.Fatal("run did not exit after cancel")
+	}
+}
+
+var servingAddrRE = regexp.MustCompile(`serving on http://(\S+) `)
+
+// TestMmapServeEndToEnd boots run() with -snapshot -mmap against a real
+// format-v2 artifact: readiness flips once the mapped snapshot is
+// installed, data endpoints answer from the aliased tables, POST
+// /v1/reload remaps the file and retires the old mapping, and shutdown
+// is clean.
+func TestMmapServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full serving loop")
+	}
+	w, err := testutil.BuildWorld(gen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshot.Capture(core.Analyze(w.D4, w.D6, w.Dict, core.DefaultOptions()))
+	if len(snap.Hybrids) == 0 {
+		t.Fatal("small world produced no hybrids")
+	}
+	path := filepath.Join(t.TempDir(), "world.snap2")
+	if err := snapshot.WriteFileV2(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	orig := baseContext
+	baseContext = func() context.Context { return ctx }
+	defer func() { baseContext = orig }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-snapshot", path, "-mmap", "-addr", "127.0.0.1:0"}, &stdout, &stderr)
+	}()
+
+	deadline := time.Now().Add(time.Minute)
+	var base string
+	for base == "" {
+		if m := servingAddrRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before serving: %v\nstderr:\n%s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line within deadline; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	req := func(method, path string) int {
+		t.Helper()
+		hr, err := http.NewRequest(method, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for time.Now().Before(deadline) {
+		if req("GET", "/readyz") == http.StatusOK {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	h := snap.Hybrids[0]
+	rel := fmt.Sprintf("/v1/rel?a=%d&b=%d", uint32(h.Key.Lo), uint32(h.Key.Hi))
+	for _, p := range []string{"/readyz", "/v1/stats", rel} {
+		if code := req("GET", p); code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (mmap-served)", p, code)
+		}
+	}
+	// Remap via the reload endpoint; answers must be uninterrupted.
+	if code := req("POST", "/v1/reload"); code != http.StatusOK {
+		t.Errorf("POST /v1/reload = %d, want 200", code)
+	}
+	if code := req("GET", rel); code != http.StatusOK {
+		t.Errorf("GET %s after remap = %d, want 200", rel, code)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not shut down after cancel")
 	}
 }

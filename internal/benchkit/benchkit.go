@@ -26,6 +26,8 @@ import (
 	"io"
 	"net/http/httptest"
 	"net/netip"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"hybridrel/internal/mrt"
 	"hybridrel/internal/obs"
 	"hybridrel/internal/pipeline"
+	"hybridrel/internal/scale"
 	"hybridrel/internal/scenario"
 	"hybridrel/internal/serve"
 	"hybridrel/internal/snapshot"
@@ -78,6 +81,19 @@ const (
 	ObsMaxSlowdown   = 1.05
 	ObsMaxAllocRatio = 1.5
 )
+
+// MmapTierMaxRatio bounds how much slower an mmap load of the 10k-tier
+// snapshot may be than the 600-AS one: mapping is O(1) in file size
+// (directory parse plus pointer arithmetic — the kernel pages data in
+// on demand), so load time must be independent of tier within noise.
+// The v1 decode pair in the same report shows the contrast: its cost
+// scales with the link count.
+const MmapTierMaxRatio = 1.2
+
+// MmapLoadTargetSpeedup is the same-tier gate: at the 10k tier the
+// mmap load must beat the full v1 decode of the identical world by at
+// least this factor.
+const MmapLoadTargetSpeedup = 5.0
 
 // Options configures a suite run.
 type Options struct {
@@ -486,8 +502,98 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		return nil, fmt.Errorf("benchkit: flap cycle never took the incremental path")
 	}
 
+	// Internet-scale section: the sharded world generator and the
+	// snapshot load modes it feeds. Both load modes run at two tiers in
+	// the same report, so the comparisons below can gate both axes —
+	// mmap vs decode at the same size, and mmap across sizes.
+	if err := scaleBenchmarks(opt, add); err != nil {
+		return nil, err
+	}
+
 	report.Comparisons = compare(report.Results)
+	// The mmap tier-independence bound is a hard gate, not an
+	// informational target: a Map that started scaling with file size
+	// (eager validation, copying) is a defect. Once mode measures a
+	// single iteration and is too noisy to gate on.
+	if !opt.Once {
+		for _, c := range report.Comparisons {
+			if c.Name == "mmap-tier" && !c.MeetsTargets {
+				return report, fmt.Errorf(
+					"benchkit: mmap load is not tier-independent: 10k tier costs %.2fx the 600-AS tier (bound %.2fx)",
+					1/c.Speedup, MmapTierMaxRatio)
+			}
+		}
+	}
 	return report, nil
+}
+
+// scaleBenchmarks measures scale.Build at the 600 and 10k tiers and
+// the two snapshot load modes (v1 streaming decode via Open, format-v2
+// mmap via Map) over the same generated worlds, written to throwaway
+// artifact files.
+func scaleBenchmarks(opt Options, add func(string, func())) error {
+	dir, err := os.MkdirTemp("", "benchkit-scale-*")
+	if err != nil {
+		return fmt.Errorf("benchkit: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	for _, tier := range []struct {
+		name string
+		cfg  scale.Config
+	}{
+		{"600", scale.Tier600()},
+		{"10k", scale.Tier10k()},
+	} {
+		cfg := tier.cfg
+		add("scale/gen-"+tier.name, func() {
+			if _, err := scale.Build(cfg); err != nil {
+				panic(err)
+			}
+		})
+		world, err := scale.Build(cfg)
+		if err != nil {
+			return fmt.Errorf("benchkit: %w", err)
+		}
+		v1Path := filepath.Join(dir, "world-"+tier.name+".bin")
+		f, err := os.Create(v1Path)
+		if err != nil {
+			return fmt.Errorf("benchkit: %w", err)
+		}
+		if err := snapshot.Encode(f, world, true); err != nil {
+			f.Close()
+			return fmt.Errorf("benchkit: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("benchkit: %w", err)
+		}
+		v2Path := filepath.Join(dir, "world-"+tier.name+".snap2")
+		if err := snapshot.WriteFileV2(v2Path, world); err != nil {
+			return fmt.Errorf("benchkit: %w", err)
+		}
+		add("snapshot/load-v1-"+tier.name, func() {
+			s, err := snapshot.Open(v1Path)
+			if err != nil {
+				panic(err)
+			}
+			if len(s.Links4) == 0 {
+				panic("empty decode")
+			}
+		})
+		add("snapshot/load-mmap-"+tier.name, func() {
+			s, err := snapshot.Map(v2Path)
+			if err != nil {
+				panic(err)
+			}
+			if len(s.Links4) == 0 {
+				panic("empty mapping")
+			}
+			if err := s.Close(); err != nil {
+				panic(err)
+			}
+		})
+	}
+	return nil
 }
 
 // DedupWorkload reconstructs an observation stream from a plane's
@@ -576,6 +682,16 @@ func compare(results []Result) []Comparison {
 		// Observability overhead: the instrumented serve path may cost
 		// at most ObsMaxSlowdown of the bare one ("speedup" ≥ 1/1.05).
 		{"serve-obs", "serve/rel", "serve/rel-instrumented", 1 / ObsMaxSlowdown, ObsMaxAllocRatio},
+		// Mmap load vs full v1 decode of the same 10k-tier world: the
+		// map is structural validation only, so it must win big. The
+		// alloc gate is loose — both paths allocate little in absolute
+		// terms (the decode's allocations are the point being avoided).
+		{"mmap-load", "snapshot/load-v1-10k", "snapshot/load-mmap-10k", MmapLoadTargetSpeedup, 1.0},
+		// Mmap load across tiers: mapping the 10k-tier file may cost at
+		// most MmapTierMaxRatio of mapping the 600-AS one — load time
+		// independent of snapshot size. Allocations are a fixed set of
+		// headers either way.
+		{"mmap-tier", "snapshot/load-mmap-600", "snapshot/load-mmap-10k", 1 / MmapTierMaxRatio, 2.0},
 	} {
 		base, okB := byName[pair.baseline]
 		flat, okF := byName[pair.interned]

@@ -37,6 +37,25 @@ func FromTable(t *asrel.Table) *Table {
 	return &Table{keys: keys, rels: rels}
 }
 
+// TableFromSorted wraps pre-sorted parallel key/relationship slices as
+// a Table without copying or validating them — the mmap loader's
+// constructor, where both slices alias sections of a mapped snapshot
+// and the format's structural guarantees stand in for the O(n) scan.
+// Callers must guarantee keys are strictly ascending and
+// len(keys) == len(rels); unsorted keys yield wrong (but memory-safe)
+// lookups, never panics.
+func TableFromSorted(keys []uint64, rels []asrel.Rel) *Table {
+	return &Table{keys: keys, rels: rels}
+}
+
+// PackedKeys returns the table's packed key array in ascending order.
+// The slice is owned by the table and must not be modified.
+func (t *Table) PackedKeys() []uint64 { return t.keys }
+
+// Rels returns the relationship array parallel to PackedKeys. The slice
+// is owned by the table and must not be modified.
+func (t *Table) Rels() []asrel.Rel { return t.rels }
+
 // ToTable thaws the flat table back into a mutable asrel.Table.
 func (t *Table) ToTable() *asrel.Table {
 	out := asrel.NewTable()

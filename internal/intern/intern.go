@@ -21,8 +21,6 @@
 package intern
 
 import (
-	"slices"
-
 	"hybridrel/internal/asrel"
 )
 
@@ -139,6 +137,3 @@ func searchPacked(keys []uint64, key uint64) (int, bool) {
 	}
 	return lo, lo < len(keys) && keys[lo] == key
 }
-
-// sortPacked sorts packed keys ascending.
-func sortPacked(keys []uint64) { slices.Sort(keys) }

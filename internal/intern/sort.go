@@ -1,0 +1,99 @@
+package intern
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// parSortMin is the slice length below which sortPacked stays
+// sequential. Below it the goroutine handoff and the scratch-buffer
+// allocation cost more than the sort; above it the freeze paths
+// (FromTable, BuildCounts, CountsAccum.Freeze, the scale-world merge)
+// are sort-dominated and split cleanly across cores. The sorted result
+// of a multiset is unique, so parallelism never changes the output.
+const parSortMin = 1 << 15
+
+// SortPacked sorts a packed-key (or any uint64) slice ascending, in
+// parallel above parSortMin. The sorted multiset is unique, so the
+// result is independent of worker count.
+func SortPacked(keys []uint64) { sortPacked(keys) }
+
+// sortPacked sorts packed keys ascending, in parallel above parSortMin.
+func sortPacked(keys []uint64) {
+	if len(keys) < parSortMin {
+		slices.Sort(keys)
+		return
+	}
+	parallelSortPacked(keys)
+}
+
+// parallelSortPacked chunk-sorts keys across GOMAXPROCS workers and
+// merges the runs pairwise in log rounds, ping-ponging between the
+// input and one scratch buffer.
+func parallelSortPacked(keys []uint64) {
+	n := len(keys)
+	w := runtime.GOMAXPROCS(0)
+	if max := n / parSortMin; w > max {
+		w = max
+	}
+	p := 1
+	for p*2 <= w {
+		p *= 2
+	}
+	if p == 1 {
+		slices.Sort(keys)
+		return
+	}
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.Sort(keys[lo:hi])
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+	scratch := make([]uint64, n)
+	src, dst := keys, scratch
+	for width := 1; width < p; width *= 2 {
+		var mg sync.WaitGroup
+		for i := 0; i < p; i += 2 * width {
+			lo := bounds[i]
+			mid := bounds[min(i+width, p)]
+			hi := bounds[min(i+2*width, p)]
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+		}
+		mg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// mergeRuns merges two sorted runs into dst, which must have exactly
+// len(a)+len(b) capacity and not overlap either input.
+func mergeRuns(dst, a, b []uint64) {
+	k := 0
+	for len(a) > 0 && len(b) > 0 {
+		if a[0] <= b[0] {
+			dst[k] = a[0]
+			a = a[1:]
+		} else {
+			dst[k] = b[0]
+			b = b[1:]
+		}
+		k++
+	}
+	copy(dst[k:], a)
+	copy(dst[k+len(a):], b)
+}

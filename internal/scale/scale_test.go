@@ -1,0 +1,178 @@
+package scale
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/intern"
+	"hybridrel/internal/snapshot"
+)
+
+// TestBuildDeterministicAcrossParallelism is the tentpole gate: the
+// generated world must be byte-identical on the wire whether it was
+// built by one worker or many.
+func TestBuildDeterministicAcrossParallelism(t *testing.T) {
+	cfg := Tier600()
+	want := uint64(0)
+	for _, par := range []int{1, 2, 7, 16} {
+		cfg.Parallelism = par
+		s, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("Build(par=%d): %v", par, err)
+		}
+		fp, err := Fingerprint(s)
+		if err != nil {
+			t.Fatalf("Fingerprint(par=%d): %v", par, err)
+		}
+		if par == 1 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("parallelism %d fingerprint %#x != parallelism 1 fingerprint %#x", par, fp, want)
+		}
+	}
+}
+
+// TestBuildRoundTripsThroughV2 proves the generator emits a valid
+// snapshot: the strict v2 reader re-decodes its canonical encoding
+// (which checks section ordering, sorted keys, enum ranges, and
+// padding), and the decoded copy re-encodes to the same bytes.
+func TestBuildRoundTripsThroughV2(t *testing.T) {
+	s, err := Build(Tier600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.EncodeV2(&buf, s); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	got, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read of generated v2 artifact: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := snapshot.EncodeV2(&buf2, got); err != nil {
+		t.Fatalf("re-EncodeV2: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("decode/re-encode is not byte-identical")
+	}
+}
+
+// TestBuildShape sanity-checks the macro structure of a small world:
+// planes are populated, v6 is the minority plane, hybrids exist and
+// follow the analysis layer's visibility-descending order, and the
+// relationship tables resolve the links they index.
+func TestBuildShape(t *testing.T) {
+	cfg := Tier600()
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Links4) == 0 || len(s.Links6) == 0 {
+		t.Fatalf("empty planes: %d v4, %d v6 links", len(s.Links4), len(s.Links6))
+	}
+	if len(s.Links6) >= len(s.Links4) {
+		t.Fatalf("v6 plane (%d links) should be smaller than v4 (%d)", len(s.Links6), len(s.Links4))
+	}
+	if len(s.Hybrids) == 0 {
+		t.Fatal("no hybrids planted")
+	}
+	for i := 1; i < len(s.Hybrids); i++ {
+		a, b := s.Hybrids[i-1], s.Hybrids[i]
+		if a.Visibility < b.Visibility {
+			t.Fatalf("hybrid %d breaks visibility-descending order", i)
+		}
+		if a.Visibility == b.Visibility && intern.Pack(a.Key) >= intern.Pack(b.Key) {
+			t.Fatalf("hybrid %d breaks key-ascending tiebreak", i)
+		}
+	}
+	for _, h := range s.Hybrids[:min(10, len(s.Hybrids))] {
+		if h.Class == asrel.NotHybrid {
+			t.Fatalf("hybrid %v classified NotHybrid", h.Key)
+		}
+		if r := s.Rel4.GetKey(h.Key); r != h.V4 {
+			t.Fatalf("Rel4 lookup for hybrid %v: got %v, want %v", h.Key, r, h.V4)
+		}
+		if r := s.Rel6.GetKey(h.Key); r != h.V6 {
+			t.Fatalf("Rel6 lookup for hybrid %v: got %v, want %v", h.Key, r, h.V6)
+		}
+	}
+	if s.Coverage.Links4 != len(s.Links4) || s.Coverage.Links6 != len(s.Links6) {
+		t.Fatal("coverage link counts disagree with the link slices")
+	}
+	if s.Census.Hybrid != len(s.Hybrids) {
+		t.Fatal("census hybrid count disagrees with the hybrid list")
+	}
+	byClass := 0
+	for _, n := range s.Census.ByClass {
+		byClass += n
+	}
+	if byClass != s.Census.Hybrid {
+		t.Fatalf("census ByClass sums to %d, want %d", byClass, s.Census.Hybrid)
+	}
+	share := float64(len(s.Hybrids)) / float64(s.Coverage.DualStack)
+	if share < 0.03 || share > 0.35 {
+		t.Fatalf("hybrid share %.2f implausibly far from the configured %.2f", share, cfg.HybridFraction)
+	}
+}
+
+// Test100kTier is the Internet-scale acceptance gate: the 100k-AS
+// world (≈1.7M IPv4 links) must build at full parallelism and at
+// parallelism 1 to byte-identical wire encodings, with the live heap
+// staying under Tier100kHeapCeiling. Skipped under -short.
+func Test100kTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k tier build skipped under -short")
+	}
+	cfg := Tier100k()
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > Tier100kHeapCeiling {
+		t.Fatalf("100k build left %d MiB live heap, ceiling %d MiB",
+			m.HeapAlloc>>20, Tier100kHeapCeiling>>20)
+	}
+	if len(s.Links4) < 1_000_000 {
+		t.Fatalf("100k tier produced only %d v4 links, want millions", len(s.Links4))
+	}
+	fpN, err := Fingerprint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1
+	s1, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := Fingerprint(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fpN {
+		t.Fatalf("100k tier: parallelism 1 fingerprint %#x != parallel fingerprint %#x", fp1, fpN)
+	}
+	t.Logf("100k tier: %d v4 links, %d v6 links, %d hybrids, fp %#x",
+		len(s.Links4), len(s.Links6), len(s.Hybrids), fpN)
+}
+
+// TestBuildValidatesConfig covers the guard rails.
+func TestBuildValidatesConfig(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.NumTier1 = 1 },
+		func(c *Config) { c.NumASes = 5 },
+		func(c *Config) { c.NumASes = maxASes + 1 },
+		func(c *Config) { c.NumVantages = 0 },
+		func(c *Config) { c.HybridFraction = 0.9 },
+	} {
+		cfg := Tier600()
+		mut(&cfg)
+		if _, err := Build(cfg); err == nil {
+			t.Fatalf("Build accepted invalid config %+v", cfg)
+		}
+	}
+}

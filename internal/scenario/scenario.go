@@ -49,12 +49,20 @@ const (
 	// TierFull is the developer matrix: every family at small-world
 	// scale (the size the golden tests pin).
 	TierFull
+	// Tier10k is the Internet-scale matrix: every family at 10 000
+	// ASes, the size the mmap-serving and parallel-generation work is
+	// gated on. Run via `experiments -scenarios -tier 10k` or the
+	// HYBRIDREL_SCENARIO_10K-gated test.
+	Tier10k
 )
 
-// String returns "short" or "full".
+// String returns "short", "full" or "10k".
 func (t Tier) String() string {
-	if t == TierFull {
+	switch t {
+	case TierFull:
 		return "full"
+	case Tier10k:
+		return "10k"
 	}
 	return "short"
 }
@@ -67,8 +75,8 @@ type Scenario struct {
 	Desc string
 	// Collectors is the number of vantage collectors dumping archives.
 	Collectors int
-	// Short / Full are the per-tier generator configurations.
-	Short, Full gen.Config
+	// Short / Full / Big are the per-tier generator configurations.
+	Short, Full, Big gen.Config
 	// MinAccuracy / MinHybridPrecision are the regression floors the
 	// matrix test asserts for this regime: per-plane accuracy of the
 	// classified links, and precision of the detected hybrids against
@@ -87,8 +95,11 @@ type Scenario struct {
 
 // Config returns the generator configuration for a tier.
 func (sc Scenario) Config(tier Tier) gen.Config {
-	if tier == TierFull {
+	switch tier {
+	case TierFull:
 		return sc.Full
+	case Tier10k:
+		return sc.Big
 	}
 	return sc.Short
 }
@@ -107,6 +118,20 @@ func shortConfig() gen.Config {
 	return c
 }
 
+// bigConfig is the Internet-scale base: the DefaultConfig structure at
+// 10 000 ASes with a trimmed vantage set, sized so the whole family
+// matrix stays minutes, not hours, while the link counts stress the
+// same code paths the 100k scale generator does.
+func bigConfig() gen.Config {
+	c := gen.DefaultConfig()
+	c.NumASes = 10_000
+	c.NumTier1 = 8
+	c.V6OnlyPeerings = 2000
+	c.HubPeerings = 40
+	c.NumVantages = 32
+	return c
+}
+
 // family assembles one scenario: mutate edits the short and full base
 // configurations identically, seed keeps the families' worlds distinct.
 func family(name, desc string, seed int64, collectors int, mutate func(*gen.Config)) Scenario {
@@ -116,15 +141,18 @@ func family(name, desc string, seed int64, collectors int, mutate func(*gen.Conf
 		Collectors:         collectors,
 		Short:              shortConfig(),
 		Full:               gen.SmallConfig(),
+		Big:                bigConfig(),
 		MinAccuracy:        0.80,
 		MinHybridPrecision: 0.80,
 		Churn:              160,
 	}
 	sc.Short.Seed = seed
 	sc.Full.Seed = seed
+	sc.Big.Seed = seed
 	if mutate != nil {
 		mutate(&sc.Short)
 		mutate(&sc.Full)
+		mutate(&sc.Big)
 	}
 	return sc
 }

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"testing"
 
 	"hybridrel/internal/asrel"
@@ -42,6 +43,9 @@ func TestMatrixCatalogue(t *testing.T) {
 		if sc.Short.NumASes >= sc.Full.NumASes {
 			t.Errorf("%s: short tier (%d ASes) is not smaller than full (%d)",
 				sc.Name, sc.Short.NumASes, sc.Full.NumASes)
+		}
+		if sc.Big.NumASes < 10_000 {
+			t.Errorf("%s: 10k tier has only %d ASes", sc.Name, sc.Big.NumASes)
 		}
 	}
 	if _, err := Find("baseline"); err != nil {
@@ -136,6 +140,49 @@ func TestScenarioMatrix(t *testing.T) {
 			t.Logf("%s: %d ASes, hybrids %d/%d matched (P %.2f R %.2f), v6 accuracy %.2f",
 				r.Name, r.ASes, r.Hybrids.Matched, r.Hybrids.Detected,
 				r.Hybrids.Precision, r.Hybrids.Recall, r.Planes[1].Accuracy)
+		})
+	}
+}
+
+// TestScenarioMatrix10k runs the full six-invariant matrix at the
+// Internet-scale 10k tier. It takes minutes, so it only runs when
+// HYBRIDREL_SCENARIO_10K is set (the acceptance gate for scale work);
+// plain `go test` skips it.
+func TestScenarioMatrix10k(t *testing.T) {
+	if os.Getenv("HYBRIDREL_SCENARIO_10K") == "" {
+		t.Skip("set HYBRIDREL_SCENARIO_10K=1 to run the 10k-tier matrix")
+	}
+	opt := Options{Tier: Tier10k}
+	for _, sc := range Matrix() {
+		t.Run(sc.Name, func(t *testing.T) {
+			r, err := Run(context.Background(), sc, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Invariants) != 6 {
+				t.Fatalf("invariant suite ran %d checks, want 6", len(r.Invariants))
+			}
+			for _, inv := range r.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s failed: %s", inv.Name, inv.Detail)
+				}
+			}
+			if r.ASes < 10_000 {
+				t.Fatalf("10k tier world has %d ASes", r.ASes)
+			}
+			for _, p := range r.Planes {
+				if p.Accuracy < sc.MinAccuracy {
+					t.Errorf("%s: accuracy %.2f below the scenario floor %.2f",
+						p.Plane, p.Accuracy, sc.MinAccuracy)
+				}
+			}
+			if r.Hybrids.Detected > 0 && r.Hybrids.Precision < sc.MinHybridPrecision {
+				t.Errorf("hybrid precision %.2f below the scenario floor %.2f",
+					r.Hybrids.Precision, sc.MinHybridPrecision)
+			}
+			t.Logf("%s: %d ASes, %d dual-stack, hybrids %d/%d (P %.2f), %dms",
+				r.Name, r.ASes, r.DualStack, r.Hybrids.Matched, r.Hybrids.Detected,
+				r.Hybrids.Precision, r.ElapsedMS)
 		})
 	}
 }

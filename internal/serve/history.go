@@ -91,15 +91,23 @@ func WithHistory(n int) Option {
 }
 
 // pushHistory appends the freshly-installed state to the ring,
-// evicting the oldest past the configured depth. Caller holds histMu.
+// evicting the oldest past the configured depth. Each ring slot holds
+// its own reference on the state, released at eviction, so time-travel
+// reads of an mmap-backed snapshot stay valid for as long as the ring
+// retains it. Caller holds histMu.
 func (s *Server) pushHistory(st *state) {
 	if s.historyDepth <= 0 {
 		return
 	}
+	st.ref()
 	s.history = append(s.history, st)
 	if len(s.history) > s.historyDepth {
 		s.evicted = true
-		n := copy(s.history, s.history[len(s.history)-s.historyDepth:])
+		drop := len(s.history) - s.historyDepth
+		for _, old := range s.history[:drop] {
+			old.release()
+		}
+		n := copy(s.history, s.history[drop:])
 		for i := n; i < len(s.history); i++ {
 			s.history[i] = nil
 		}
@@ -118,8 +126,9 @@ func parseAtTime(v string) (time.Time, error) {
 
 // stateAt resolves the state a read request should answer from: the
 // current one normally, or — given ?at=T with history enabled — the
-// newest ring entry not younger than T. On failure it writes the
-// error response and returns nil.
+// newest ring entry not younger than T. The returned state carries a
+// reference the caller must release. On failure it writes the error
+// response and returns nil.
 func (s *Server) stateAt(w http.ResponseWriter, r *http.Request) *state {
 	v := r.URL.Query().Get("at")
 	if v == "" {
@@ -143,6 +152,12 @@ func (s *Server) stateAt(w http.ResponseWriter, r *http.Request) *state {
 			found = s.history[i]
 			break
 		}
+	}
+	if found != nil {
+		// The ring slot's reference keeps found alive while histMu is
+		// held (eviction also runs under histMu), so an unconditional
+		// ref — rather than the retain CAS loop — is sound here.
+		found.ref()
 	}
 	evicted := s.evicted
 	empty := len(s.history) == 0

@@ -8,7 +8,10 @@
 // atomic.Pointer, so queries are lock-free and a hot reload — POST
 // /v1/reload or SIGHUP in cmd/hybridserve — swaps the whole indexed
 // state in one atomic store: in-flight requests finish against the
-// snapshot they started with and zero requests are dropped.
+// snapshot they started with and zero requests are dropped. States are
+// reference-counted, so a retired mmap-backed snapshot (snapshot.Map)
+// is unmapped only after the last in-flight request and history-ring
+// slot releases it.
 //
 // Endpoints:
 //
@@ -292,6 +295,13 @@ func (s *Server) Load(snap *snapshot.Snapshot) {
 		}
 	}
 	s.histMu.Unlock()
+	if prev != nil {
+		// Drop the outgoing state's installed-pointer reference — after
+		// the Diff above, which still reads prev.snap. In-flight requests
+		// and ring slots hold their own references, so an mmap-backed
+		// snapshot unmaps only when the last of them lets go.
+		prev.release()
+	}
 }
 
 // Generation returns the number of snapshots installed so far.
@@ -299,11 +309,31 @@ func (s *Server) Generation() uint64 { return s.generation.Load() }
 
 // Snapshot returns the currently installed snapshot, or nil if none
 // has been loaded yet.
+//
+// Caution with mmap-backed snapshots (snapshot.Map): the returned
+// pointer borrows the installed state without a reference, so a
+// subsequent Load may retire — and unmap — it while the caller still
+// holds it. Callers that only need headline sizes should use Summary,
+// which takes a reference for the duration of the read.
 func (s *Server) Snapshot() *snapshot.Snapshot {
 	if st := s.state.Load(); st != nil {
 		return st.snap
 	}
 	return nil
+}
+
+// Summary reports the installed snapshot's headline sizes — distinct
+// ASNs, per-plane link counts, hybrid count — without lending out the
+// snapshot itself. ok is false before the first load. Unlike Snapshot,
+// Summary is safe to call concurrently with hot reloads of mmap-backed
+// snapshots: it holds a reference while it reads.
+func (s *Server) Summary() (asns, links4, links6, hybrids int, ok bool) {
+	st := s.acquireState()
+	if st == nil {
+		return 0, 0, 0, 0, false
+	}
+	defer st.release()
+	return len(st.asns), len(st.snap.Links4), len(st.snap.Links6), len(st.snap.Hybrids), true
 }
 
 // Reload runs the configured source and installs its snapshot. It is
@@ -360,6 +390,15 @@ func (s *Server) Reload(ctx context.Context) error {
 type state struct {
 	snap *snapshot.Snapshot
 
+	// refs counts the holders keeping this state alive: the installed
+	// atomic pointer, each history-ring slot, and each in-flight request
+	// that resolved it. When the count hits zero the snapshot is Closed
+	// — which unmaps it when it came from snapshot.Map — so a hot swap
+	// can retire an mmap-backed snapshot without ever unmapping pages a
+	// request is still reading. For heap-backed snapshots Close is a
+	// no-op and the whole scheme degenerates to plain GC.
+	refs atomic.Int64
+
 	// asns / entries are the per-AS index: entry i describes asns[i],
 	// ascending. Each entry's neighbor and hybrid runs are sub-slices
 	// of one shared backing array.
@@ -410,6 +449,7 @@ func packKeys(ls []snapshot.Link) []uint64 {
 
 // lookupLink binary-searches a packed key array (sorted, parallel to
 // its snapshot link set) for k.
+//
 //hybridrel:hotpath
 func lookupLink(keys []uint64, ls []snapshot.Link, k asrel.LinkKey) (vis int, ok bool) {
 	i, found := slices.BinarySearch(keys, intern.Pack(k))
@@ -420,6 +460,7 @@ func lookupLink(keys []uint64, ls []snapshot.Link, k asrel.LinkKey) (vis int, ok
 }
 
 // lookupAS returns the per-AS entry of asn.
+//
 //hybridrel:hotpath
 func (st *state) lookupAS(asn asrel.ASN) (*asEntry, bool) {
 	i, found := slices.BinarySearch(st.asns, asn)
@@ -431,6 +472,7 @@ func (st *state) lookupAS(asn asrel.ASN) (*asEntry, bool) {
 
 // lookupHybrid returns the index into snap.Hybrids of the hybrid link
 // k, if any.
+//
 //hybridrel:hotpath
 func (st *state) lookupHybrid(k asrel.LinkKey) (int, bool) {
 	i, found := slices.BinarySearch(st.hybKeys, intern.Pack(k))
@@ -438,6 +480,63 @@ func (st *state) lookupHybrid(k asrel.LinkKey) (int, bool) {
 		return 0, false
 	}
 	return int(st.hybByKey[i]), true
+}
+
+// retain takes a request reference if the state is still alive. It
+// fails (returns false) only when the count already hit zero — the
+// state was retired between the caller's pointer load and this call —
+// in which case a newer state is already installed.
+//
+//hybridrel:hotpath
+func (st *state) retain() bool {
+	for {
+		r := st.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if st.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// ref adds a reference unconditionally. Only valid while the caller
+// already guarantees liveness: it built the state, or holds histMu
+// with the state still in the ring (the ring's own reference keeps the
+// count positive until eviction, which also runs under histMu).
+//
+//hybridrel:hotpath
+func (st *state) ref() { st.refs.Add(1) }
+
+// release drops one reference; the final drop closes the snapshot.
+// The Close error is ignored: the last holder is whichever request or
+// eviction happens to finish last, and it has no caller to report a
+// munmap failure to.
+//
+//hybridrel:hotpath
+func (st *state) release() {
+	if st.refs.Add(-1) == 0 {
+		_ = st.snap.Close()
+	}
+}
+
+// acquireState resolves the installed state and takes a reference, so
+// a concurrent hot swap can never unmap the snapshot while the caller
+// reads it. Returns nil before the first load. Callers must release.
+//
+//hybridrel:hotpath
+func (s *Server) acquireState() *state {
+	for {
+		st := s.state.Load()
+		if st == nil {
+			return nil
+		}
+		if st.retain() {
+			return st
+		}
+		// Retired between Load and retain; the installed pointer already
+		// moved on. Re-resolve.
+	}
 }
 
 func buildState(snap *snapshot.Snapshot) *state {
@@ -448,6 +547,7 @@ func buildState(snap *snapshot.Snapshot) *state {
 		stats:    StatsOf(snap),
 		loadedAt: time.Now().UTC(),
 	}
+	st.refs.Store(1) // the installed-pointer reference, dropped by the next Load
 
 	// Directed edge list: two per undirected link per plane, packed so
 	// one sort groups them by (src, dst) and dual-stack duplicates sit
@@ -585,10 +685,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// loadedState returns the installed state, or answers 503 and returns
-// nil during the pre-load window (New with a nil snapshot).
+// loadedState returns the installed state with a reference taken, or
+// answers 503 and returns nil during the pre-load window (New with a
+// nil snapshot). The caller must release the returned state.
 func (s *Server) loadedState(w http.ResponseWriter) *state {
-	st := s.state.Load()
+	st := s.acquireState()
 	if st == nil {
 		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
 	}
@@ -600,6 +701,7 @@ func (s *Server) handleRel(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
+	defer st.release()
 	q := r.URL.Query()
 	a, errA := ParseASN(q.Get("a"))
 	b, errB := ParseASN(q.Get("b"))
@@ -640,6 +742,7 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
+	defer st.release()
 	asn, err := ParseASN(r.PathValue("asn"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -686,6 +789,7 @@ func (s *Server) handleHybrids(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
+	defer st.release()
 	q := r.URL.Query()
 
 	offset, limit := 0, DefaultLimit
@@ -749,6 +853,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
+	defer st.release()
 	// The snapshot-derived body is precomputed at load time; only the
 	// freshness fields are stamped per request.
 	resp := st.stats
@@ -762,11 +867,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // "alive" with zero counts). Readiness — "is there data to serve" —
 // is /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st := s.acquireState()
 	if st == nil {
 		writeJSON(w, http.StatusOK, HealthResponse{Status: "alive"})
 		return
 	}
+	defer st.release()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
 		ASNs:     len(st.asns),
@@ -780,11 +886,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleReady is the readiness probe: 503 until the first successful
 // Load installs a snapshot, 200 with the snapshot summary after.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	st := s.acquireState()
 	if st == nil {
 		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
 		return
 	}
+	defer st.release()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ready",
 		ASNs:     len(st.asns),
@@ -808,7 +915,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	st := s.state.Load() //hybridlint:ignore snapload -- deliberate second resolution: report the generation the reload just swapped in, not the one the request started with
+	st := s.acquireState() //hybridlint:ignore snapload -- deliberate second resolution: report the generation the reload just swapped in, not the one the request started with
+	defer st.release()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "reloaded",
 		ASNs:     len(st.asns),

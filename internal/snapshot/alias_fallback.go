@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package snapshot
+
+// aliasV2 on architectures without the little-endian 64-bit layout
+// guarantee declines, and Map falls back to the strict heap decoder —
+// correct everywhere, zero-copy where it matters.
+func aliasV2(data []byte, lay *v2Layout) (*Snapshot, bool) { return nil, false }

@@ -1,0 +1,520 @@
+package snapshot
+
+// Format version 2: the fixed-width, mmap-able layout.
+//
+// Version 1 is a varint stream — compact on the wire, but decoding is
+// inherently sequential and materializes every entry on the heap, so
+// serve load time and RSS grow linearly with world size. Version 2
+// trades ~2× wire size for direct reinterpretation: every section is an
+// array of fixed-width little-endian records whose byte layout equals
+// the Go in-memory layout on little-endian 64-bit machines (asserted at
+// compile time in alias_le64.go), and a section-offset directory in the
+// header makes the whole artifact random-access. Map therefore serves a
+// v2 file by validating O(#sections) of structure and aliasing the
+// mapped bytes in place — no decode pass, no per-entry heap objects.
+//
+// # Wire format (version 2)
+//
+//	off 0   magic   "HYBS"                          4 bytes
+//	off 4   version uint16 big-endian               2 (matches v1 sniffing)
+//	off 6   flags   uint8                           0 (v2 is never compressed)
+//	off 7   nsec    uint8                           8 sections
+//	off 8   directory: nsec × { offset uint64 LE, count uint64 LE }
+//	        sections, each 8-byte aligned, zero-padded between:
+//	  0 rel4keys  count × uint64    packed canonical keys, strictly ascending
+//	  1 rel4rels  count × uint8     Rel codes, parallel to rel4keys
+//	  2 rel6keys  count × uint64
+//	  3 rel6rels  count × uint8
+//	  4 links4    count × 16 bytes  { lo u32, hi u32, visibility u64 }
+//	  5 links6    count × 16 bytes
+//	  6 hybrids   count × 24 bytes  { lo u32, hi u32, v4 u8, v6 u8,
+//	                                  class u8, pad[5] = 0, visibility u64 }
+//	  7 stats     count × uint64    headline statistics words (below)
+//	trailer "SBYH"                                  last 4 bytes
+//
+// The stats section is 19+2k words: coverage (7), census
+// (dualClassified, hybrid, k, then k × (class, count)), visibility
+// (paths, pathsWithHybrid, Float64bits mean-hybrid-degree, Float64bits
+// mean-dual-degree), valley (5). It is tiny and decoded eagerly even
+// under Map.
+//
+// Strict decoding (Read on a v2 stream, and Map's fallback on exotic
+// platforms) validates everything v1 validates — sortedness, canonical
+// key order, enum codes, value bounds — plus the canonical section
+// layout (contiguous in index order, zero padding). Map validates only
+// structure (bounds, alignment, paired counts, trailer): corrupt but
+// structurally valid data yields wrong answers from a binary search,
+// never a panic, which is the price of O(1) load.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hybridrel/internal/asrel"
+	"hybridrel/internal/core"
+	"hybridrel/internal/intern"
+)
+
+const (
+	// Version2 is the fixed-width format version.
+	Version2 = 2
+
+	v2NumSections = 8
+	v2HeaderSize  = 8 + v2NumSections*16
+	v2MinSize     = v2HeaderSize + len(trailer)
+)
+
+// Section indexes into the v2 directory.
+const (
+	secRel4Keys = iota
+	secRel4Rels
+	secRel6Keys
+	secRel6Rels
+	secLinks4
+	secLinks6
+	secHybrids
+	secStats
+)
+
+// v2RecSize is the fixed record width of each section in bytes.
+var v2RecSize = [v2NumSections]int{8, 1, 8, 1, 16, 16, 24, 8}
+
+// align8 rounds up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// WriteFileV2 writes s to path in format version 2 with the same
+// atomic temp-and-rename discipline as WriteFile.
+func WriteFileV2(path string, s *Snapshot) error {
+	return encodeFileWith(path, s, EncodeV2)
+}
+
+// EncodeV2 serializes s in format version 2. The encoding is canonical
+// — fixed section order, fixed offsets for given counts, zero padding,
+// sorted census classes — so equal snapshots produce identical bytes,
+// exactly like the v1 encoding.
+func EncodeV2(w io.Writer, s *Snapshot) error {
+	words := v2StatsWords(s)
+	var counts [v2NumSections]int
+	counts[secRel4Keys] = tableLen(s.Rel4)
+	counts[secRel4Rels] = counts[secRel4Keys]
+	counts[secRel6Keys] = tableLen(s.Rel6)
+	counts[secRel6Rels] = counts[secRel6Keys]
+	counts[secLinks4] = len(s.Links4)
+	counts[secLinks6] = len(s.Links6)
+	counts[secHybrids] = len(s.Hybrids)
+	counts[secStats] = len(words)
+
+	var offs [v2NumSections]int
+	off := v2HeaderSize
+	for i := range offs {
+		offs[i] = off
+		off = align8(off + counts[i]*v2RecSize[i])
+	}
+
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, v2HeaderSize)
+	copy(hdr, magic)
+	binary.BigEndian.PutUint16(hdr[4:6], Version2)
+	hdr[6] = 0
+	hdr[7] = v2NumSections
+	for i := range offs {
+		binary.LittleEndian.PutUint64(hdr[8+16*i:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(hdr[8+16*i+8:], uint64(counts[i]))
+	}
+	e := &encoderV2{w: bw, off: 0}
+	e.bytes(hdr)
+	e.pad(offs[secRel4Keys])
+	writeTableV2(e, s.Rel4, offs[secRel4Keys], offs[secRel4Rels])
+	e.pad(offs[secRel6Keys])
+	writeTableV2(e, s.Rel6, offs[secRel6Keys], offs[secRel6Rels])
+	e.pad(offs[secLinks4])
+	for _, l := range s.Links4 {
+		e.link(l)
+	}
+	e.pad(offs[secLinks6])
+	for _, l := range s.Links6 {
+		e.link(l)
+	}
+	e.pad(offs[secHybrids])
+	for _, h := range s.Hybrids {
+		e.hybrid(h)
+	}
+	e.pad(offs[secStats])
+	for _, u := range words {
+		e.u64(u)
+	}
+	e.pad(off)
+	e.bytes([]byte(trailer))
+	if e.err != nil {
+		return fmt.Errorf("snapshot: encode v2: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: encode v2: %w", err)
+	}
+	return nil
+}
+
+func tableLen(t *intern.Table) int {
+	if t == nil {
+		return 0
+	}
+	return t.Len()
+}
+
+// writeTableV2 emits both sections of a relationship table. The rels
+// section trails the keys section, so the encoder seeks by buffering:
+// keys stream out in place while rel bytes accumulate, then pad+flush.
+func writeTableV2(e *encoderV2, t *intern.Table, keysOff, relsOff int) {
+	if t == nil {
+		return
+	}
+	for _, u := range t.PackedKeys() {
+		e.u64(u)
+	}
+	e.pad(relsOff)
+	for _, r := range t.Rels() {
+		e.byte(byte(r))
+	}
+}
+
+// encoderV2 writes with a sticky error while tracking the output
+// offset, so zero padding to each section's directory offset is exact.
+type encoderV2 struct {
+	w   *bufio.Writer
+	off int
+	err error
+	buf [24]byte
+}
+
+func (e *encoderV2) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	n, err := e.w.Write(b)
+	e.off += n
+	e.err = err
+}
+
+func (e *encoderV2) byte(b byte) {
+	if e.err != nil {
+		return
+	}
+	if e.err = e.w.WriteByte(b); e.err == nil {
+		e.off++
+	}
+}
+
+func (e *encoderV2) u64(u uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], u)
+	e.bytes(e.buf[:8])
+}
+
+func (e *encoderV2) pad(to int) {
+	for e.err == nil && e.off < to {
+		e.byte(0)
+	}
+}
+
+func (e *encoderV2) link(l Link) {
+	binary.LittleEndian.PutUint32(e.buf[0:], uint32(l.Key.Lo))
+	binary.LittleEndian.PutUint32(e.buf[4:], uint32(l.Key.Hi))
+	binary.LittleEndian.PutUint64(e.buf[8:], uint64(l.Visibility))
+	e.bytes(e.buf[:16])
+}
+
+func (e *encoderV2) hybrid(h core.HybridLink) {
+	binary.LittleEndian.PutUint32(e.buf[0:], uint32(h.Key.Lo))
+	binary.LittleEndian.PutUint32(e.buf[4:], uint32(h.Key.Hi))
+	e.buf[8] = byte(h.V4)
+	e.buf[9] = byte(h.V6)
+	e.buf[10] = byte(h.Class)
+	for i := 11; i < 16; i++ {
+		e.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(e.buf[16:], uint64(h.Visibility))
+	e.bytes(e.buf[:24])
+}
+
+// v2StatsWords flattens the headline statistics into the stats-section
+// word sequence (census classes sorted, matching the v1 encoder).
+func v2StatsWords(s *Snapshot) []uint64 {
+	c, cs, v, vs := s.Coverage, s.Census, s.Visibility, s.Valley
+	classes := make([]asrel.HybridClass, 0, len(cs.ByClass))
+	for cl := range cs.ByClass {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	words := make([]uint64, 0, 19+2*len(classes))
+	for _, n := range []int{c.Paths6, c.Links6, c.Links4, c.DualStack,
+		c.Classified6, c.ClassifiedDual, c.ClassifiedDualBoth} {
+		words = append(words, uint64(n))
+	}
+	words = append(words, uint64(cs.DualClassified), uint64(cs.Hybrid), uint64(len(classes)))
+	for _, cl := range classes {
+		words = append(words, uint64(cl), uint64(cs.ByClass[cl]))
+	}
+	words = append(words, uint64(v.Paths), uint64(v.PathsWithHybrid),
+		math.Float64bits(v.MeanHybridEndpointDegree), math.Float64bits(v.MeanDualEndpointDegree))
+	for _, n := range []int{vs.Total, vs.ValleyFree, vs.Valley, vs.Unclassified, vs.Necessary} {
+		words = append(words, uint64(n))
+	}
+	return words
+}
+
+// v2Layout is the parsed section directory of a v2 artifact.
+type v2Layout struct {
+	off [v2NumSections]int
+	cnt [v2NumSections]int
+}
+
+// parseV2 validates the structural invariants of a v2 artifact — the
+// whole of what Map checks before serving it: header fields, directory
+// bounds and alignment, paired key/rel counts, and the trailer. It
+// never touches the section payloads, so its cost is independent of
+// snapshot size.
+func parseV2(data []byte) (*v2Layout, error) {
+	if len(data) < v2MinSize {
+		return nil, fmt.Errorf("snapshot: v2: file too short (%d bytes, need at least %d)", len(data), v2MinSize)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != Version2 {
+		return nil, fmt.Errorf("snapshot: v2 parser given version %d", v)
+	}
+	if data[6] != 0 {
+		return nil, fmt.Errorf("snapshot: v2: unknown flags %#x (v2 payloads are never compressed)", data[6])
+	}
+	if data[7] != v2NumSections {
+		return nil, fmt.Errorf("snapshot: v2: section count %d, want %d", data[7], v2NumSections)
+	}
+	if string(data[len(data)-4:]) != trailer {
+		return nil, fmt.Errorf("snapshot: v2 trailer: bad sentinel %q at byte offset %d (truncated or corrupted snapshot)", data[len(data)-4:], len(data)-4)
+	}
+	lay := &v2Layout{}
+	limit := uint64(len(data) - len(trailer))
+	for i := 0; i < v2NumSections; i++ {
+		off := binary.LittleEndian.Uint64(data[8+16*i:])
+		cnt := binary.LittleEndian.Uint64(data[8+16*i+8:])
+		if cnt > maxCount {
+			return nil, fmt.Errorf("snapshot: v2 section %d: implausible count %d", i, cnt)
+		}
+		if off%8 != 0 || off < v2HeaderSize || off > limit || cnt*uint64(v2RecSize[i]) > limit-off {
+			return nil, fmt.Errorf("snapshot: v2 section %d: out of bounds (offset %d, %d records of %d bytes in a %d-byte file)", i, off, cnt, v2RecSize[i], len(data))
+		}
+		lay.off[i], lay.cnt[i] = int(off), int(cnt)
+	}
+	if lay.cnt[secRel4Keys] != lay.cnt[secRel4Rels] || lay.cnt[secRel6Keys] != lay.cnt[secRel6Rels] {
+		return nil, fmt.Errorf("snapshot: v2: relationship key/rel section counts disagree")
+	}
+	return lay, nil
+}
+
+// readV2 is the strict v2 decoder: full validation (everything the v1
+// decoder checks, plus canonical section placement and zero padding)
+// with every product copied onto the heap. Read dispatches here for
+// version-2 streams; Map falls back to it on platforms where aliasing
+// is unavailable.
+func readV2(data []byte) (*Snapshot, error) {
+	lay, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical placement: sections contiguous in index order with zero
+	// padding and nothing between the last section and the trailer.
+	// A hand-built directory that overlaps or reorders sections is
+	// corrupt, not an alternate representation.
+	off := v2HeaderSize
+	for i := 0; i < v2NumSections; i++ {
+		if lay.off[i] != off {
+			return nil, fmt.Errorf("snapshot: v2 section %d: at byte offset %d, want canonical offset %d", i, lay.off[i], off)
+		}
+		end := off + lay.cnt[i]*v2RecSize[i]
+		off = align8(end)
+		for j := end; j < off; j++ {
+			if data[j] != 0 {
+				return nil, fmt.Errorf("snapshot: v2 section %d: nonzero padding at byte offset %d", i, j)
+			}
+		}
+	}
+	if off != len(data)-len(trailer) {
+		return nil, fmt.Errorf("snapshot: v2: %d bytes of trailing garbage before the trailer", len(data)-len(trailer)-off)
+	}
+	s := &Snapshot{}
+	if s.Rel4, err = readTableV2(data, lay, secRel4Keys, "rel4 table"); err != nil {
+		return nil, err
+	}
+	if s.Rel6, err = readTableV2(data, lay, secRel6Keys, "rel6 table"); err != nil {
+		return nil, err
+	}
+	if s.Links4, err = readLinksV2(data, lay, secLinks4, "ipv4 links"); err != nil {
+		return nil, err
+	}
+	if s.Links6, err = readLinksV2(data, lay, secLinks6, "ipv6 links"); err != nil {
+		return nil, err
+	}
+	if s.Hybrids, err = readHybridsV2(data, lay); err != nil {
+		return nil, err
+	}
+	if err = readStatsV2(data, lay, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func readTableV2(data []byte, lay *v2Layout, ki int, section string) (*intern.Table, error) {
+	n := lay.cnt[ki]
+	ko, ro := lay.off[ki], lay.off[ki+1]
+	var b intern.TableBuilder
+	b.Grow(min(n, allocCap))
+	for i := 0; i < n; i++ {
+		u := binary.LittleEndian.Uint64(data[ko+8*i:])
+		k := intern.Unpack(u)
+		if k.Lo > k.Hi {
+			return nil, fmt.Errorf("snapshot: %s: link %s not in canonical order (byte offset %d)", section, k, ko+8*i)
+		}
+		r := data[ro+i]
+		if r > byte(asrel.S2S) {
+			return nil, fmt.Errorf("snapshot: %s: invalid relationship code %d (byte offset %d)", section, r, ro+i)
+		}
+		if err := b.Append(k, asrel.Rel(r)); err != nil {
+			return nil, fmt.Errorf("snapshot: %s: %w (byte offset %d)", section, err, ko+8*i)
+		}
+	}
+	return b.Table(), nil
+}
+
+func readLinksV2(data []byte, lay *v2Layout, si int, section string) ([]Link, error) {
+	n := lay.cnt[si]
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Link, 0, min(n, allocCap))
+	var last uint64
+	for i := 0; i < n; i++ {
+		o := lay.off[si] + 16*i
+		lo := binary.LittleEndian.Uint32(data[o:])
+		hi := binary.LittleEndian.Uint32(data[o+4:])
+		vis := binary.LittleEndian.Uint64(data[o+8:])
+		k := asrel.LinkKey{Lo: asrel.ASN(lo), Hi: asrel.ASN(hi)}
+		u := uint64(lo)<<32 | uint64(hi)
+		switch {
+		case lo > hi:
+			return nil, fmt.Errorf("snapshot: %s: link %s not in canonical order (byte offset %d)", section, k, o)
+		case i > 0 && u <= last:
+			return nil, fmt.Errorf("snapshot: %s: link %s out of canonical order (byte offset %d)", section, k, o)
+		case vis > math.MaxInt64/2:
+			return nil, fmt.Errorf("snapshot: %s: implausible value %d (byte offset %d)", section, vis, o+8)
+		}
+		last = u
+		out = append(out, Link{Key: k, Visibility: int(vis)})
+	}
+	return out, nil
+}
+
+func readHybridsV2(data []byte, lay *v2Layout) ([]core.HybridLink, error) {
+	const section = "hybrid list"
+	n := lay.cnt[secHybrids]
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]core.HybridLink, 0, min(n, allocCap))
+	for i := 0; i < n; i++ {
+		o := lay.off[secHybrids] + 24*i
+		lo := binary.LittleEndian.Uint32(data[o:])
+		hi := binary.LittleEndian.Uint32(data[o+4:])
+		v4, v6, class := data[o+8], data[o+9], data[o+10]
+		vis := binary.LittleEndian.Uint64(data[o+16:])
+		k := asrel.LinkKey{Lo: asrel.ASN(lo), Hi: asrel.ASN(hi)}
+		switch {
+		case lo > hi:
+			return nil, fmt.Errorf("snapshot: %s: link %s not in canonical order (byte offset %d)", section, k, o)
+		case v4 > byte(asrel.S2S) || v6 > byte(asrel.S2S):
+			return nil, fmt.Errorf("snapshot: %s: invalid relationship code (byte offset %d)", section, o+8)
+		case class > byte(asrel.HybridOther):
+			return nil, fmt.Errorf("snapshot: %s: invalid hybrid class %d (byte offset %d)", section, class, o+10)
+		case vis > math.MaxInt64/2:
+			return nil, fmt.Errorf("snapshot: %s: implausible value %d (byte offset %d)", section, vis, o+16)
+		}
+		for j := o + 11; j < o+16; j++ {
+			if data[j] != 0 {
+				return nil, fmt.Errorf("snapshot: %s: nonzero record padding (byte offset %d)", section, j)
+			}
+		}
+		out = append(out, core.HybridLink{
+			Key: k, V4: asrel.Rel(v4), V6: asrel.Rel(v6),
+			Class: asrel.HybridClass(class), Visibility: int(vis),
+		})
+	}
+	return out, nil
+}
+
+// readStatsV2 decodes the stats section into s. It is shared by the
+// strict decoder and Map (the section is 19+2k words — eager decode
+// does not disturb Map's size-independent load).
+func readStatsV2(data []byte, lay *v2Layout, s *Snapshot) error {
+	const section = "stats section"
+	n := lay.cnt[secStats]
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[lay.off[secStats]+8*i:])
+	}
+	if n < 19 {
+		return fmt.Errorf("snapshot: %s: %d words, need at least 19", section, n)
+	}
+	word := func(i int) (int, error) {
+		if words[i] > math.MaxInt64/2 {
+			return 0, fmt.Errorf("snapshot: %s: implausible value %d (word %d)", section, words[i], i)
+		}
+		return int(words[i]), nil
+	}
+	var err error
+	s.Coverage = core.Coverage{}
+	for i, p := range []*int{&s.Coverage.Paths6, &s.Coverage.Links6, &s.Coverage.Links4,
+		&s.Coverage.DualStack, &s.Coverage.Classified6, &s.Coverage.ClassifiedDual,
+		&s.Coverage.ClassifiedDualBoth} {
+		if *p, err = word(i); err != nil {
+			return err
+		}
+	}
+	s.Census = core.HybridCensus{ByClass: make(map[asrel.HybridClass]int)}
+	if s.Census.DualClassified, err = word(7); err != nil {
+		return err
+	}
+	if s.Census.Hybrid, err = word(8); err != nil {
+		return err
+	}
+	k := words[9]
+	if k > uint64(asrel.HybridOther)+1 || n != int(19+2*k) {
+		return fmt.Errorf("snapshot: %s: %d words with %d census classes", section, n, k)
+	}
+	for i := 0; i < int(k); i++ {
+		cl := words[10+2*i]
+		if cl > uint64(asrel.HybridOther) {
+			return fmt.Errorf("snapshot: %s: invalid hybrid class %d (word %d)", section, cl, 10+2*i)
+		}
+		if s.Census.ByClass[asrel.HybridClass(cl)], err = word(11 + 2*i); err != nil {
+			return err
+		}
+	}
+	base := 10 + 2*int(k)
+	if s.Visibility.Paths, err = word(base); err != nil {
+		return err
+	}
+	if s.Visibility.PathsWithHybrid, err = word(base + 1); err != nil {
+		return err
+	}
+	s.Visibility.MeanHybridEndpointDegree = math.Float64frombits(words[base+2])
+	s.Visibility.MeanDualEndpointDegree = math.Float64frombits(words[base+3])
+	for i, p := range []*int{&s.Valley.Total, &s.Valley.ValleyFree, &s.Valley.Valley,
+		&s.Valley.Unclassified, &s.Valley.Necessary} {
+		if *p, err = word(base + 4 + i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

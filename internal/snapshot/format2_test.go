@@ -1,0 +1,271 @@
+package snapshot
+
+// Format-v2 tests: round-trip identity through the strict decoder, the
+// canonical-bytes property, Map serving the same answers as Open from
+// an aliased mapping, the v1↔v2 cross-version oracle (both decodes
+// yield the same canonical v1 bytes), the v2 failure-mode catalogue,
+// and the byte-offset error context Open now reports.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// encodeV2Bytes encodes s in format v2 in memory.
+func encodeV2Bytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestV2RoundTripIdentity(t *testing.T) {
+	want := Capture(analysis(t))
+	if len(want.Hybrids) == 0 || want.Rel6.Len() == 0 {
+		t.Fatal("small world produced an empty snapshot; the round trip would be vacuous")
+	}
+	data := encodeV2Bytes(t, want)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, want, got)
+
+	// Cross-version oracle: the canonical v1 bytes of the v2-decoded
+	// snapshot equal the canonical v1 bytes of the original. Bytes()
+	// equality is the repository-wide definition of "the same results".
+	wantV1, err := Bytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV1, err := Bytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantV1, gotV1) {
+		t.Error("v2 round trip changed the canonical v1 encoding")
+	}
+}
+
+func TestV2EncodeIsCanonical(t *testing.T) {
+	s := Capture(analysis(t))
+	a := encodeV2Bytes(t, s)
+	b := encodeV2Bytes(t, s)
+	if !bytes.Equal(a, b) {
+		t.Fatal("EncodeV2 is not deterministic")
+	}
+	decoded, err := readV2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := encodeV2Bytes(t, decoded); !bytes.Equal(a, c) {
+		t.Error("EncodeV2(readV2(x)) != x: v2 encoding is not a fixed point")
+	}
+}
+
+func TestMapServesInPlace(t *testing.T) {
+	want := Capture(analysis(t))
+	path := filepath.Join(t.TempDir(), "world.snap2")
+	if err := WriteFileV2(path, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, want, m)
+	// Every product answers identically through the mapped form: the
+	// canonical v1 bytes re-encoded from the aliased slices must match.
+	wantV1, err := Bytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV1, err := Bytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantV1, gotV1) {
+		t.Error("mapped snapshot re-encodes differently from the original")
+	}
+	for _, h := range want.Hybrids {
+		if got := m.Rel6.GetKey(h.Key); got != h.V6 {
+			t.Errorf("hybrid %s: mapped Rel6 says %s, want %s", h.Key, got, h.V6)
+		}
+	}
+	// The mapping survives deletion of the file (the hot-reload rename
+	// case) until Close, which is idempotent.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rel4.Len() != want.Rel4.Len() {
+		t.Error("mapping unusable after file deletion")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMapRejectsV1(t *testing.T) {
+	a := analysis(t)
+	path := filepath.Join(t.TempDir(), "world.snap")
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Map(path)
+	if err == nil {
+		t.Fatal("Map accepted a version-1 snapshot")
+	}
+	for _, sub := range []string{"cannot be mapped", path} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error %q does not mention %q", err, sub)
+		}
+	}
+}
+
+// mustFailV2 routes corrupt v2 bytes through the strict reader,
+// requiring a descriptive error and no panic.
+func mustFailV2(t *testing.T, name string, data []byte, wantSub string) {
+	t.Helper()
+	s, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatalf("%s: Read succeeded (%+v), want error", name, s)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+	}
+}
+
+func TestV2FailureModes(t *testing.T) {
+	valid := encodeV2Bytes(t, Capture(analysis(t)))
+	lay, err := parseV2(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(edit func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		edit(b)
+		return b
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{v2MinSize - 1, len(valid) / 2, len(valid) - 1} {
+			mustFailV2(t, "truncated", valid[:n], "snapshot")
+		}
+	})
+	t.Run("nonzero flags", func(t *testing.T) {
+		mustFailV2(t, "flags", mut(func(b []byte) { b[6] = 1 }), "never compressed")
+	})
+	t.Run("bad section count", func(t *testing.T) {
+		mustFailV2(t, "nsec", mut(func(b []byte) { b[7] = 3 }), "section count")
+	})
+	t.Run("bad trailer", func(t *testing.T) {
+		mustFailV2(t, "trailer", mut(func(b []byte) { b[len(b)-1] = 'X' }), "bad sentinel")
+	})
+	t.Run("misaligned section offset", func(t *testing.T) {
+		mustFailV2(t, "align", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:], uint64(lay.off[0]+1))
+		}), "out of bounds")
+	})
+	t.Run("offset past EOF", func(t *testing.T) {
+		mustFailV2(t, "bounds", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8+16*secHybrids:], uint64(len(valid)))
+		}), "out of bounds")
+	})
+	t.Run("implausible count", func(t *testing.T) {
+		mustFailV2(t, "count", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8+16*secLinks4+8:], maxCount+1)
+		}), "implausible count")
+	})
+	t.Run("key/rel counts disagree", func(t *testing.T) {
+		// Shrinking the rel4rels count keeps it in bounds but breaks the
+		// pairing invariant.
+		if lay.cnt[secRel4Rels] == 0 {
+			t.Skip("empty rel4 table")
+		}
+		mustFailV2(t, "pair", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8+16*secRel4Rels+8:], uint64(lay.cnt[secRel4Rels]-1))
+		}), "counts disagree")
+	})
+	t.Run("non-canonical placement", func(t *testing.T) {
+		// Both rel tables pointed at the same (valid) keys section: Map
+		// would serve it, the strict reader rejects it.
+		mustFailV2(t, "placement", mut(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8+16*secRel6Keys:], uint64(lay.off[secRel4Keys]))
+			binary.LittleEndian.PutUint64(b[8+16*secRel6Keys+8:], uint64(lay.cnt[secRel4Keys]))
+			binary.LittleEndian.PutUint64(b[8+16*secRel6Rels:], uint64(lay.off[secRel4Rels]))
+			binary.LittleEndian.PutUint64(b[8+16*secRel6Rels+8:], uint64(lay.cnt[secRel4Rels]))
+		}), "canonical offset")
+	})
+	t.Run("unsorted rel table", func(t *testing.T) {
+		if lay.cnt[secRel4Keys] < 2 {
+			t.Skip("rel4 table too small")
+		}
+		mustFailV2(t, "unsorted", mut(func(b []byte) {
+			a := binary.LittleEndian.Uint64(b[lay.off[secRel4Keys]:])
+			z := binary.LittleEndian.Uint64(b[lay.off[secRel4Keys]+8:])
+			binary.LittleEndian.PutUint64(b[lay.off[secRel4Keys]:], z)
+			binary.LittleEndian.PutUint64(b[lay.off[secRel4Keys]+8:], a)
+		}), "out of canonical order")
+	})
+	t.Run("invalid relationship code", func(t *testing.T) {
+		if lay.cnt[secRel4Rels] == 0 {
+			t.Skip("empty rel4 table")
+		}
+		mustFailV2(t, "rel", mut(func(b []byte) {
+			b[lay.off[secRel4Rels]] = 0x7F
+		}), "invalid relationship code")
+	})
+	t.Run("invalid hybrid class", func(t *testing.T) {
+		if lay.cnt[secHybrids] == 0 {
+			t.Skip("no hybrids")
+		}
+		mustFailV2(t, "class", mut(func(b []byte) {
+			b[lay.off[secHybrids]+10] = 0x7F
+		}), "invalid hybrid class")
+	})
+	t.Run("nonzero hybrid record padding", func(t *testing.T) {
+		if lay.cnt[secHybrids] == 0 {
+			t.Skip("no hybrids")
+		}
+		mustFailV2(t, "pad", mut(func(b []byte) {
+			b[lay.off[secHybrids]+12] = 1
+		}), "nonzero record padding")
+	})
+}
+
+// TestOpenReportsPathAndOffset pins the satellite contract: a
+// truncated artifact names the file and the payload byte position.
+func TestOpenReportsPathAndOffset(t *testing.T) {
+	s := Capture(analysis(t))
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trunc.snap")
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if err == nil {
+		t.Fatal("Open accepted a truncated snapshot")
+	}
+	for _, sub := range []string{path, "payload byte"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error %q does not mention %q", err, sub)
+		}
+	}
+	// The reported offset must be a real position, not zero: cutting a
+	// third off the end leaves the decoder deep into the payload.
+	if strings.Contains(err.Error(), "payload byte 0)") ||
+		strings.HasSuffix(err.Error(), "payload byte 0") {
+		t.Errorf("error %q reports offset 0 for a deep truncation", err)
+	}
+}

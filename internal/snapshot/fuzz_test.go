@@ -1,11 +1,16 @@
 package snapshot
 
-// Native fuzz target for snapshot.Read — the third untrusted decoder.
-// Beyond "never panic", the target enforces a differential oracle:
-// whatever Read accepts must re-encode and re-decode to a stable form
-// (Encode(Read(x)) is a fixed point). The committed seed corpus under
-// testdata/fuzz/FuzzRead is generated from a tiny testutil world
-// (regenerate with WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus).
+// Native fuzz target for snapshot.Read — the third untrusted decoder,
+// covering both wire formats. Beyond "never panic", the target enforces
+// two differential oracles: whatever Read accepts must re-encode and
+// re-decode to a stable form (Encode(Read(x)) is a fixed point), and
+// the v1↔v2 cross-version oracle — re-encoding the accepted snapshot in
+// format v2 and decoding that must yield the same canonical v1 bytes.
+// Version-2 seeds exercise the fixed-width path: valid artifacts,
+// header/offset-directory corruption, misaligned sections, and
+// truncation. The committed seed corpus under testdata/fuzz/FuzzRead is
+// generated from a tiny testutil world (regenerate with
+// WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus).
 //
 // Run locally with:
 //
@@ -13,6 +18,7 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,9 +29,9 @@ import (
 	"hybridrel/internal/testutil"
 )
 
-// tinySnapshots encodes a miniature world's snapshot both raw and
-// compressed for fuzz seeds.
-func tinySnapshots(t testing.TB) (raw, gz []byte) {
+// tinySnapshots encodes a miniature world's snapshot raw, compressed,
+// and in format v2 for fuzz seeds.
+func tinySnapshots(t testing.TB) (raw, gz, v2 []byte) {
 	t.Helper()
 	cfg := gen.SmallConfig()
 	cfg.NumASes = 48
@@ -40,18 +46,21 @@ func tinySnapshots(t testing.TB) (raw, gz []byte) {
 		t.Fatal(err)
 	}
 	s := Capture(core.Analyze(w.D4, w.D6, w.Dict, core.DefaultOptions()))
-	var rawBuf, gzBuf bytes.Buffer
+	var rawBuf, gzBuf, v2Buf bytes.Buffer
 	if err := Encode(&rawBuf, s, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := Encode(&gzBuf, s, true); err != nil {
 		t.Fatal(err)
 	}
-	return rawBuf.Bytes(), gzBuf.Bytes()
+	if err := EncodeV2(&v2Buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return rawBuf.Bytes(), gzBuf.Bytes(), v2Buf.Bytes()
 }
 
 func FuzzRead(f *testing.F) {
-	raw, gz := tinySnapshots(f)
+	raw, gz, v2 := tinySnapshots(f)
 	f.Add(raw)
 	f.Add(gz)
 	f.Add(raw[:len(raw)/2])
@@ -65,6 +74,23 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(emptyBuf.Bytes())
+	// Version-2 seeds: a valid artifact, truncations landing inside the
+	// directory and inside a section, a corrupted directory offset, a
+	// misaligned section offset, and an empty-but-valid v2 artifact.
+	f.Add(v2)
+	f.Add(v2[:len(v2)/2])
+	f.Add(v2[:v2HeaderSize-9])
+	corruptDir := bytes.Clone(v2)
+	binary.LittleEndian.PutUint64(corruptDir[8+16*secHybrids:], uint64(len(v2)*2))
+	f.Add(corruptDir)
+	misaligned := bytes.Clone(v2)
+	binary.LittleEndian.PutUint64(misaligned[8:], uint64(v2HeaderSize+1))
+	f.Add(misaligned)
+	var emptyV2 bytes.Buffer
+	if err := EncodeV2(&emptyV2, empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(emptyV2.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Read(bytes.NewReader(data))
@@ -98,6 +124,25 @@ func FuzzRead(f *testing.F) {
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatalf("codec is not a fixed point: %d vs %d bytes", first.Len(), second.Len())
 		}
+
+		// Cross-version oracle: re-encoding the accepted snapshot in
+		// format v2 and strictly decoding that must round-trip back to
+		// the same canonical v1 bytes, whichever version the input was.
+		var asV2 bytes.Buffer
+		if err := EncodeV2(&asV2, s); err != nil {
+			t.Fatalf("v2 re-encode of accepted snapshot failed: %v", err)
+		}
+		s3, err := Read(bytes.NewReader(asV2.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of v2 re-encoded snapshot failed: %v", err)
+		}
+		var third bytes.Buffer
+		if err := Encode(&third, s3, false); err != nil {
+			t.Fatalf("v1 re-encode after v2 round trip failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), third.Bytes()) {
+			t.Fatalf("v1↔v2 cross-version oracle violated: %d vs %d bytes", first.Len(), third.Len())
+		}
 	})
 }
 
@@ -107,7 +152,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
 		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
 	}
-	raw, gz := tinySnapshots(t)
+	raw, gz, v2 := tinySnapshots(t)
 	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
@@ -121,4 +166,9 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	write("seed-raw", raw)
 	write("seed-gzip", gz)
 	write("seed-raw-truncated", raw[:len(raw)/3])
+	write("seed-v2", v2)
+	write("seed-v2-truncated", v2[:len(v2)/3])
+	corrupt := bytes.Clone(v2)
+	binary.LittleEndian.PutUint64(corrupt[8+16*secLinks4:], uint64(v2HeaderSize+4))
+	write("seed-v2-misaligned", corrupt)
 }

@@ -1,0 +1,74 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Map opens a format-v2 snapshot by mapping the file and serving its
+// tables in place: the relationship tables, link sections, and hybrid
+// list all alias the mapped bytes, so load cost is O(#sections)
+// structural validation plus one mmap syscall — independent of
+// snapshot size — and steady-state RSS is whatever pages the kernel
+// faults in under query load.
+//
+// The trade against Open: Map does not validate section payloads
+// (sortedness, enum codes, bounds), so a corrupt-but-structurally-valid
+// file yields wrong query answers — memory-safely, a binary search over
+// garbage cannot panic — where Open would reject it. Use Open when the
+// artifact crosses a trust boundary; Map is for serving artifacts the
+// pipeline itself wrote.
+//
+// The caller owns the mapping and must Close the snapshot when done;
+// internal/serve refcounts in-flight requests so a hot reload never
+// unmaps a snapshot a handler still reads. Version-1 files cannot be
+// mapped (varints have no fixed width); Map reports a distinguished
+// error directing the caller to Open or a v2 re-export.
+func Map(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	fail := func(err error) (*Snapshot, error) {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return fail(fmt.Errorf("snapshot: map: read header: %w", err))
+	}
+	if string(hdr[:4]) == magic {
+		if v := binary.BigEndian.Uint16(hdr[4:6]); v == Version {
+			return fail(fmt.Errorf("snapshot: map: version 1 snapshot cannot be mapped; load it with Open, or re-export it in format version 2"))
+		}
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(fmt.Errorf("snapshot: map: %w", err))
+	}
+	if fi.Size() < int64(v2MinSize) || fi.Size() > int64(int(^uint(0)>>1)) {
+		return fail(fmt.Errorf("snapshot: map: implausible file size %d bytes", fi.Size()))
+	}
+	data, closer, err := mmapFile(f, int(fi.Size()))
+	if err != nil {
+		return fail(fmt.Errorf("snapshot: map: %w", err))
+	}
+	lay, err := parseV2(data)
+	if err != nil {
+		closer()
+		return fail(err)
+	}
+	s, ok := aliasV2(data, lay)
+	if !ok {
+		if s, err = readV2(data); err != nil {
+			closer()
+			return fail(err)
+		}
+	} else if err = readStatsV2(data, lay, s); err != nil {
+		closer()
+		return fail(err)
+	}
+	AttachCloser(s, closer)
+	return s, nil
+}

@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned closer unmaps;
+// the file descriptor itself may be closed immediately after mapping
+// (the mapping keeps the pages alive), and the file may be renamed or
+// deleted underneath a live mapping without invalidating it — which is
+// exactly what the atomic WriteFileV2 temp-and-rename does during a
+// hot reload.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -30,6 +30,12 @@
 // reader upgrade, never a silent misparse), bounds every count, and
 // wraps every failure in a descriptive error — corrupted or truncated
 // input returns an error, never panics.
+//
+// Format version 2 — the fixed-width little-endian layout built for
+// mmap serving — is documented and implemented in format2.go. Read
+// decodes both versions forever; Encode keeps writing version 1 (the
+// portable interchange form), EncodeV2/WriteFileV2 write version 2,
+// and Map serves a version-2 file in place without a decode pass.
 package snapshot
 
 import (
@@ -94,7 +100,32 @@ type Snapshot struct {
 	Census     core.HybridCensus
 	Visibility core.Visibility
 	Valley     valley.Stats
+
+	// closer releases whatever backs the snapshot's slices — the file
+	// mapping for a snapshot produced by Map, nothing for heap-decoded
+	// snapshots. Managed through Close/AttachCloser.
+	closer func() error
 }
+
+// Close releases the resources backing the snapshot: for a snapshot
+// produced by Map that unmaps the file, after which the tables, link
+// sections, and hybrid list must not be touched. For heap-decoded
+// snapshots Close is a no-op. Close is idempotent but not safe for
+// concurrent callers; the serving layer guarantees a single closer via
+// refcounting.
+func (s *Snapshot) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	fn := s.closer
+	s.closer = nil
+	return fn()
+}
+
+// AttachCloser registers fn to be invoked by Close, replacing any
+// previous closer. Map uses it to hook munmap; tests use it to observe
+// exactly when the serving layer releases a retired snapshot.
+func AttachCloser(s *Snapshot, fn func() error) { s.closer = fn }
 
 // Capture extracts a snapshot from an analysis, forcing every memoized
 // derived product. The snapshot shares the analysis's relationship
@@ -134,6 +165,12 @@ func WriteFile(path string, a *core.Analysis) error {
 }
 
 func encodeFile(path string, s *Snapshot) error {
+	return encodeFileWith(path, s, func(w io.Writer, s *Snapshot) error {
+		return Encode(w, s, true)
+	})
+}
+
+func encodeFileWith(path string, s *Snapshot, enc func(io.Writer, *Snapshot) error) error {
 	// A unique temp sibling keeps concurrent exports to the same path
 	// from clobbering each other's in-progress bytes; Sync before the
 	// rename so a crash can't leave a durable name over absent data.
@@ -147,7 +184,7 @@ func encodeFile(path string, s *Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := Encode(f, s, true); err != nil {
+	if err := enc(f, s); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -357,7 +394,9 @@ func Open(path string) (*Snapshot, error) {
 // flags, every element count, and the truncation trailer. Malformed
 // input of any kind — wrong file type, a future format version,
 // truncation at any byte, corrupted varints or enum codes — returns a
-// descriptive error; Read never panics on bad input.
+// descriptive error; Read never panics on bad input. Both format
+// versions decode: version 1 exactly as always, version 2 via the
+// strict fixed-width decoder in format2.go.
 func Read(r io.Reader) (*Snapshot, error) {
 	hdr := make([]byte, 7)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -367,8 +406,19 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", hdr[:4])
 	}
 	version := binary.BigEndian.Uint16(hdr[4:6])
-	if version == 0 || version > Version {
-		return nil, fmt.Errorf("snapshot: file version %d is newer than the supported version %d; upgrade this binary or re-export the snapshot", version, Version)
+	if version == 0 || version > Version2 {
+		return nil, fmt.Errorf("snapshot: file version %d is newer than the supported version %d; upgrade this binary or re-export the snapshot", version, Version2)
+	}
+	if version == Version2 {
+		// The fixed-width format is random-access by design; buffer the
+		// rest and hand the whole artifact to the strict v2 decoder.
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: v2 payload: %w", err)
+		}
+		full := make([]byte, 0, len(hdr)+len(rest))
+		full = append(append(full, hdr...), rest...)
+		return readV2(full)
 	}
 	flags := hdr[6]
 	if flags&^byte(flagGzip) != 0 {
@@ -383,7 +433,12 @@ func Read(r io.Reader) (*Snapshot, error) {
 		defer gz.Close()
 		payload = gz
 	}
-	d := &decoder{r: bufio.NewReader(payload)}
+	// Counting the decoded payload stream lets every failure report a
+	// byte position — on a multi-GB artifact "truncated input" alone
+	// does not say whether the file lost a trailer or half its links.
+	pr := &countingReader{r: payload}
+	d := &decoder{pr: pr}
+	d.r = bufio.NewReader(pr)
 	s := &Snapshot{}
 	s.Rel4 = d.table("rel4 table")
 	s.Rel6 = d.table("rel6 table")
@@ -401,18 +456,39 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return s, nil
 }
 
+// countingReader counts bytes consumed from the underlying stream, so
+// decode errors can report where in the payload they happened.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // decoder reads the payload with a sticky error.
 type decoder struct {
 	r   *bufio.Reader
+	pr  *countingReader
 	err error
+}
+
+// offset returns the payload byte position of the next undecoded byte
+// (uncompressed position when the payload is gzipped; the fixed 7-byte
+// file header is not included).
+func (d *decoder) offset() int64 {
+	return d.pr.n - int64(d.r.Buffered())
 }
 
 func (d *decoder) fail(section string, err error) {
 	if d.err == nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			d.err = fmt.Errorf("snapshot: %s: truncated input", section)
+			d.err = fmt.Errorf("snapshot: %s: truncated input at payload byte %d", section, d.offset())
 		} else {
-			d.err = fmt.Errorf("snapshot: %s: %w", section, err)
+			d.err = fmt.Errorf("snapshot: %s: %w (payload byte %d)", section, err, d.offset())
 		}
 	}
 }
